@@ -1,0 +1,31 @@
+//! # aladin-baseline
+//!
+//! Executable comparison points for the paper's Table 1 ("Spectrum of
+//! integration approaches"). The table contrasts three families of systems on
+//! focus of attention, structure of data, and cost of integration:
+//!
+//! * **Data-focused** (Swiss-Prot-style manual curation) — modelled by
+//!   [`curation`]: a cost model of expert actions needed to merge and curate
+//!   the corpus by hand.
+//! * **Schema-focused** (TAMBIS / DiscoveryLink / OPM-style mediators) —
+//!   modelled by [`mediator`]: a global schema plus *manually specified*
+//!   mappings and wrappers; integration quality is whatever the hand-written
+//!   mappings cover.
+//! * **SRS-style link indexing** — modelled by [`srs`]: structure and
+//!   cross-reference fields are *declared by hand* per source (the Icarus
+//!   parser role), then the system indexes and joins them; no discovery takes
+//!   place.
+//!
+//! Each baseline reports the number of human-specified artifacts it required
+//! ([`cost::HumanEffort`]) so experiment E1 can regenerate Table 1 with
+//! measured numbers next to ALADIN's (near-zero) manual cost.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod curation;
+pub mod mediator;
+pub mod srs;
+
+pub use cost::HumanEffort;

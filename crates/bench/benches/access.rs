@@ -1,0 +1,45 @@
+//! E10 — Section 4.6: the access engine (browse, ranked search, SQL and
+//! cross-source queries) over an integrated warehouse.
+
+use aladin_bench::integrate_corpus;
+use aladin_core::access::{BrowseEngine, QueryEngine, SearchEngine};
+use aladin_core::AladinConfig;
+use aladin_datagen::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_access(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small(5));
+    let (aladin, _) = integrate_corpus(&corpus, AladinConfig::default());
+    let search = SearchEngine::build(&aladin).unwrap();
+    let browse = BrowseEngine::new(&aladin);
+    let query = QueryEngine::new(&aladin);
+    let first_object = aladin.objects_of("protkb").unwrap().into_iter().next().unwrap();
+
+    let mut group = c.benchmark_group("access_engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+
+    group.bench_function("ranked_search", |b| {
+        b.iter(|| search.search("kinase signal transduction", 10))
+    });
+    group.bench_function("browse_object_view", |b| {
+        b.iter(|| browse.view(&first_object).unwrap())
+    });
+    group.bench_function("sql_filter_query", |b| {
+        b.iter(|| {
+            query
+                .sql("protkb", "SELECT ac, de FROM protkb_entry WHERE ac LIKE 'P%' LIMIT 20")
+                .unwrap()
+        })
+    });
+    group.bench_function("cross_source_object_query", |b| {
+        b.iter(|| query.cross_source_objects("protkb", "structdb").unwrap())
+    });
+    group.bench_function("build_search_index", |b| {
+        b.iter(|| SearchEngine::build(&aladin).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E8 — Section 4.5: duplicate detection across differently modelled sources,
+//! with the similarity-measure ablation.
+
+use aladin_core::config::DuplicateMeasure;
+use aladin_core::duplicates::detect_duplicates;
+use aladin_core::pipeline::analyze_database;
+use aladin_core::AladinConfig;
+use aladin_datagen::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_duplicates(c: &mut Criterion) {
+    let mut corpus_config = CorpusConfig::small(4);
+    corpus_config.archive_overlap = 0.7;
+    let corpus = Corpus::generate(&corpus_config);
+    let protkb = corpus.source("protkb").unwrap().import().unwrap();
+    let archive = corpus.source("archive").unwrap().import().unwrap();
+    let config = AladinConfig::default();
+    let protkb_structure = analyze_database(&protkb, &config).unwrap();
+    let archive_structure = analyze_database(&archive, &config).unwrap();
+
+    let mut group = c.benchmark_group("duplicate_detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    for measure in [
+        DuplicateMeasure::EditDistance,
+        DuplicateMeasure::QGram,
+        DuplicateMeasure::TfIdf,
+    ] {
+        let config = AladinConfig {
+            duplicate_measure: measure,
+            ..AladinConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("protkb_vs_archive", format!("{measure:?}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    detect_duplicates(
+                        &protkb,
+                        &protkb_structure,
+                        &archive,
+                        &archive_structure,
+                        &[],
+                        config,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_duplicates);
+criterion_main!(benches);

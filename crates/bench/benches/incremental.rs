@@ -1,0 +1,51 @@
+//! E6 — Section 6.2: the cost of adding a new data source as the warehouse
+//! grows.
+//!
+//! Benchmarks integrating the protein archive into warehouses that already
+//! contain one, three and six sources.
+
+use aladin_core::{Aladin, AladinConfig};
+use aladin_datagen::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn warehouse_with(corpus: &Corpus, n_sources: usize) -> Aladin {
+    let mut aladin = Aladin::new(AladinConfig::default());
+    for dump in corpus.sources.iter().filter(|d| d.name != "archive").take(n_sources) {
+        aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap();
+    }
+    aladin
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small(3));
+    let archive = corpus.source("archive").unwrap().clone();
+
+    let mut group = c.benchmark_group("incremental_addition");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    for existing in [1usize, 3, 6] {
+        let base = warehouse_with(&corpus, existing);
+        group.bench_with_input(
+            BenchmarkId::new("add_archive_with_existing_sources", existing),
+            &existing,
+            |b, _| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut aladin| {
+                        aladin
+                            .add_source_files(&archive.name, archive.format, &archive.files)
+                            .unwrap()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 — Figure 2: the five-step integration process.
+//!
+//! Benchmarks the end-to-end integration of a small synthetic corpus and the
+//! source-local structure-discovery step in isolation.
+
+use aladin_bench::integrate_corpus;
+use aladin_core::pipeline::analyze_database;
+use aladin_core::AladinConfig;
+use aladin_datagen::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small(1));
+    let protkb = corpus.source("protkb").unwrap().import().unwrap();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    group.bench_function("integrate_small_corpus", |b| {
+        b.iter_batched(
+            || corpus.clone(),
+            |corpus| integrate_corpus(&corpus, AladinConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("structure_discovery_protkb", |b| {
+        b.iter(|| analyze_database(&protkb, &AladinConfig::default()).unwrap())
+    });
+
+    group.bench_function("import_protkb_flatfile", |b| {
+        let dump = corpus.source("protkb").unwrap();
+        b.iter(|| dump.import().unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E9 — Section 4.4: implicit links by sequence homology; seeded search vs.
+//! exhaustive Smith-Waterman.
+
+use aladin_seq::alphabet::Alphabet;
+use aladin_seq::blast::BlastIndex;
+use aladin_seq::score::ScoringScheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_protein(rng: &mut StdRng, len: usize) -> String {
+    const AA: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+    (0..len).map(|_| AA[rng.gen_range(0..AA.len())] as char).collect()
+}
+
+fn bench_sequence(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut index = BlastIndex::new(Alphabet::Protein);
+    let mut subjects = Vec::new();
+    for i in 0..200 {
+        let seq = random_protein(&mut rng, 150 + i % 100);
+        index.add(format!("s{i}"), &seq);
+        subjects.push(seq);
+    }
+    // A query homologous to subject 17 (a few substitutions).
+    let mut query: Vec<char> = subjects[17].chars().collect();
+    for pos in (0..query.len()).step_by(23) {
+        query[pos] = 'A';
+    }
+    let query: String = query.into_iter().collect();
+
+    let mut group = c.benchmark_group("sequence_homology");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    group.bench_function("seeded_search_200_subjects", |b| {
+        b.iter(|| index.search(&query))
+    });
+    group.bench_function("exact_search_200_subjects", |b| {
+        b.iter(|| index.search_exact(&query))
+    });
+    group.bench_function("single_smith_waterman", |b| {
+        let scheme = ScoringScheme::protein();
+        b.iter(|| aladin_seq::align::local_align(&query, &subjects[17], &scheme))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequence);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! # aladin-bench
+//!
+//! Shared helpers for the benchmark harness and the experiment binaries that
+//! regenerate every table, figure and quantitative claim of the ALADIN paper
+//! (see `DESIGN.md`, per-experiment index E1–E10, and `EXPERIMENTS.md` for the
+//! recorded results).
+
+#![warn(missing_docs)]
+
+use aladin_core::eval::ExpectedTruth;
+use aladin_core::{Aladin, AladinConfig, IntegrationReport};
+use aladin_datagen::{Corpus, GroundTruth};
+
+/// Convert the generator's ground truth into the evaluator's plain-data form.
+pub fn expected_truth(truth: &GroundTruth) -> ExpectedTruth {
+    ExpectedTruth {
+        sources: truth
+            .sources
+            .iter()
+            .map(|s| {
+                (
+                    s.source.clone(),
+                    s.primary_tables.clone(),
+                    s.accession_columns.clone(),
+                    s.secondary_tables.clone(),
+                )
+            })
+            .collect(),
+        links: truth
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    l.from_source.clone(),
+                    l.from_accession.clone(),
+                    l.to_source.clone(),
+                    l.to_accession.clone(),
+                    l.explicit,
+                )
+            })
+            .collect(),
+        duplicates: truth
+            .duplicates
+            .iter()
+            .map(|d| {
+                (
+                    d.source_a.clone(),
+                    d.accession_a.clone(),
+                    d.source_b.clone(),
+                    d.accession_b.clone(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Integrate every source of a corpus into a fresh warehouse, returning the
+/// warehouse and the per-source integration reports.
+pub fn integrate_corpus(corpus: &Corpus, config: AladinConfig) -> (Aladin, Vec<IntegrationReport>) {
+    let mut aladin = Aladin::new(config);
+    let mut reports = Vec::new();
+    for dump in &corpus.sources {
+        let report = aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap_or_else(|e| panic!("failed to integrate source '{}': {e}", dump.name));
+        reports.push(report);
+    }
+    (aladin, reports)
+}
+
+/// Print a fixed-width text table: a header row followed by data rows. Used by
+/// every experiment binary so the output reads like the paper's tables.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a `f64` with three decimals (shared by the experiment binaries).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_datagen::CorpusConfig;
+
+    #[test]
+    fn integrate_corpus_produces_reports_for_each_source() {
+        let corpus = Corpus::generate(&CorpusConfig::small(3));
+        let (aladin, reports) = integrate_corpus(&corpus, AladinConfig::default());
+        assert_eq!(reports.len(), corpus.sources.len());
+        assert_eq!(aladin.source_count(), corpus.sources.len());
+        let truth = expected_truth(&corpus.truth);
+        assert_eq!(truth.sources.len(), corpus.truth.sources.len());
+        assert_eq!(truth.links.len(), corpus.truth.links.len());
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "long value".into()], vec!["2".into(), "x".into()]],
+        );
+        assert_eq!(fmt3(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,377 @@
+//! Browsing: "simply displays objects and different kinds of links (to
+//! secondary objects, to related objects, to duplicates) that users can
+//! follow."
+//!
+//! The browser exposes the four relationship types of Section 4.6: same
+//! relation, dependency (secondary annotation), duplicates, and links to other
+//! sources.
+
+use crate::error::{AladinError, AladinResult};
+use crate::metadata::{LinkKind, ObjectRef};
+use crate::pipeline::Aladin;
+use crate::secondary::owner_accessions;
+use serde::{Deserialize, Serialize};
+
+/// The four kinds of neighbours a user can navigate to from an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighbourKind {
+    /// Another object of the same relation (same table).
+    SameRelation,
+    /// A dependent (secondary) annotation row.
+    Dependency,
+    /// A flagged duplicate in another source.
+    Duplicate,
+    /// A discovered link into another source.
+    Linked,
+}
+
+/// One row of secondary annotation displayed with an object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationRow {
+    /// The secondary table the row comes from.
+    pub table: String,
+    /// `(column, value)` pairs of the row (NULLs omitted).
+    pub values: Vec<(String, String)>,
+}
+
+/// A browsable view of one primary object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectView {
+    /// The object.
+    pub object: ObjectRef,
+    /// `(column, value)` pairs of the object's primary-relation row.
+    pub attributes: Vec<(String, String)>,
+    /// Secondary annotation rows (the "dependency" neighbours).
+    pub annotation: Vec<AnnotationRow>,
+    /// Other objects of the same relation (a small sample).
+    pub same_relation: Vec<ObjectRef>,
+    /// Flagged duplicates with their similarity scores.
+    pub duplicates: Vec<(ObjectRef, f64)>,
+    /// Links into other sources with their kinds and scores.
+    pub linked: Vec<(ObjectRef, LinkKind, f64)>,
+}
+
+/// The browse engine.
+pub struct BrowseEngine<'a> {
+    aladin: &'a Aladin,
+    /// How many same-relation neighbours to show.
+    pub same_relation_limit: usize,
+}
+
+impl<'a> BrowseEngine<'a> {
+    /// Create a browse engine over an integrated warehouse.
+    pub fn new(aladin: &'a Aladin) -> BrowseEngine<'a> {
+        BrowseEngine {
+            aladin,
+            same_relation_limit: 5,
+        }
+    }
+
+    /// Resolve an accession within a source to an object reference.
+    pub fn find_object(&self, source: &str, accession: &str) -> AladinResult<ObjectRef> {
+        let structure = self
+            .aladin
+            .metadata()
+            .structure(source)
+            .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
+        let db = self.aladin.database(source)?;
+        for primary in &structure.primary_relations {
+            let table = db.table(&primary.table)?;
+            let idx = table.column_index(&primary.accession_column)?;
+            if table
+                .rows()
+                .iter()
+                .any(|r| r[idx].render() == accession)
+            {
+                return Ok(ObjectRef::new(source, primary.table.clone(), accession));
+            }
+        }
+        Err(AladinError::UnknownObject(format!("{source}:{accession}")))
+    }
+
+    /// Build the full view of one object.
+    pub fn view(&self, object: &ObjectRef) -> AladinResult<ObjectView> {
+        let source = &object.source;
+        let structure = self
+            .aladin
+            .metadata()
+            .structure(source)
+            .ok_or_else(|| AladinError::UnknownSource(source.clone()))?;
+        let db = self.aladin.database(source)?;
+        let primary = structure
+            .primary_relations
+            .iter()
+            .find(|p| p.table.eq_ignore_ascii_case(&object.table))
+            .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+
+        let table = db.table(&primary.table)?;
+        let acc_idx = table.column_index(&primary.accession_column)?;
+        let row_idx = table
+            .rows()
+            .iter()
+            .position(|r| r[acc_idx].render() == object.accession)
+            .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+
+        // Attributes of the primary row.
+        let attributes: Vec<(String, String)> = table.schema()
+            .columns()
+            .iter()
+            .zip(&table.rows()[row_idx])
+            .filter(|(_, v)| !v.is_null())
+            .map(|(c, v)| (c.name.clone(), v.render()))
+            .collect();
+
+        // Same-relation neighbours.
+        let same_relation: Vec<ObjectRef> = table
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != row_idx)
+            .take(self.same_relation_limit)
+            .map(|(_, r)| ObjectRef::new(source, primary.table.clone(), r[acc_idx].render()))
+            .collect();
+
+        // Dependency neighbours: rows of secondary tables owned by this object.
+        let mut annotation = Vec::new();
+        for secondary in &structure.secondary_relations {
+            if secondary.path.is_empty() {
+                continue;
+            }
+            let sec_table = match db.table(&secondary.table) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            let owners = owner_accessions(
+                db,
+                &structure.primary_relations,
+                &structure.secondary_relations,
+                &structure.relationships,
+                &secondary.table,
+            )
+            .unwrap_or_else(|_| vec![None; sec_table.row_count()]);
+            for (i, row) in sec_table.rows().iter().enumerate() {
+                if owners.get(i).cloned().flatten().as_deref() == Some(object.accession.as_str()) {
+                    annotation.push(AnnotationRow {
+                        table: secondary.table.clone(),
+                        values: sec_table
+                            .schema()
+                            .columns()
+                            .iter()
+                            .zip(row)
+                            .filter(|(_, v)| !v.is_null())
+                            .map(|(c, v)| (c.name.clone(), v.render()))
+                            .collect(),
+                    });
+                }
+            }
+        }
+
+        // Duplicates and cross-source links from the metadata repository.
+        let mut duplicates = Vec::new();
+        let mut linked = Vec::new();
+        for link in self.aladin.metadata().links_of(object) {
+            let other = if &link.from == object {
+                link.to.clone()
+            } else {
+                link.from.clone()
+            };
+            if link.kind == LinkKind::Duplicate {
+                duplicates.push((other, link.score));
+            } else {
+                linked.push((other, link.kind, link.score));
+            }
+        }
+        duplicates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        linked.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        Ok(ObjectView {
+            object: object.clone(),
+            attributes,
+            annotation,
+            same_relation,
+            duplicates,
+            linked,
+        })
+    }
+
+    /// Follow links transitively from a start object up to the given depth,
+    /// returning the set of reachable objects (breadth-first, excluding the
+    /// start). This is the "web of biological objects" traversal of the
+    /// introduction.
+    pub fn reachable(&self, start: &ObjectRef, depth: usize) -> Vec<ObjectRef> {
+        use std::collections::{HashSet, VecDeque};
+        let mut seen: HashSet<ObjectRef> = HashSet::new();
+        let mut queue: VecDeque<(ObjectRef, usize)> = VecDeque::new();
+        seen.insert(start.clone());
+        queue.push_back((start.clone(), 0));
+        let mut out = Vec::new();
+        while let Some((current, d)) = queue.pop_front() {
+            if d >= depth {
+                continue;
+            }
+            for link in self.aladin.metadata().links_of(&current) {
+                let other = if link.from == current {
+                    link.to.clone()
+                } else {
+                    link.from.clone()
+                };
+                if seen.insert(other.clone()) {
+                    out.push(other.clone());
+                    queue.push_back((other, d + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AladinConfig;
+    use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+
+    fn warehouse() -> Aladin {
+        let config = AladinConfig {
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            ..Default::default()
+        };
+        let mut aladin = Aladin::new(config);
+
+        let mut protkb = Database::new("protkb");
+        protkb
+            .create_table(
+                "protkb_entry",
+                TableSchema::of(vec![
+                    ColumnDef::int("entry_id"),
+                    ColumnDef::text("ac"),
+                    ColumnDef::text("de"),
+                ]),
+            )
+            .unwrap();
+        protkb
+            .create_table(
+                "protkb_kw",
+                TableSchema::of(vec![
+                    ColumnDef::int("kw_id"),
+                    ColumnDef::int("entry_id"),
+                    ColumnDef::text("value"),
+                ]),
+            )
+            .unwrap();
+        for (i, desc) in ["serine kinase enzyme", "sugar transporter protein", "ribosome factor"]
+            .iter()
+            .enumerate()
+        {
+            protkb
+                .insert(
+                    "protkb_entry",
+                    vec![
+                        Value::Int(i as i64 + 1),
+                        Value::text(format!("P1000{}", i + 1)),
+                        Value::text(*desc),
+                    ],
+                )
+                .unwrap();
+        }
+        for (id, entry, kw) in [(1, 1, "Kinase"), (2, 1, "ATP-binding"), (3, 2, "Transport")] {
+            protkb
+                .insert(
+                    "protkb_kw",
+                    vec![Value::Int(id), Value::Int(entry), Value::text(kw)],
+                )
+                .unwrap();
+        }
+        aladin.add_database(protkb).unwrap();
+
+        let mut structdb = Database::new("structdb");
+        structdb
+            .create_table(
+                "structures",
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                    ColumnDef::text("protein_ref"),
+                ]),
+            )
+            .unwrap();
+        for (acc, title, pref) in [
+            ("1ABC", "kinase structure", Some("P10001")),
+            ("2DEF", "transporter structure", Some("P10002")),
+            ("3GHI", "unannotated structure", None),
+        ] {
+            structdb
+                .insert(
+                    "structures",
+                    vec![
+                        Value::text(acc),
+                        Value::text(title),
+                        pref.map(Value::text).unwrap_or(Value::Null),
+                    ],
+                )
+                .unwrap();
+        }
+        aladin.add_database(structdb).unwrap();
+        aladin
+    }
+
+    #[test]
+    fn find_object_resolves_accessions() {
+        let aladin = warehouse();
+        let browse = BrowseEngine::new(&aladin);
+        let obj = browse.find_object("protkb", "P10001").unwrap();
+        assert_eq!(obj.table, "protkb_entry");
+        assert!(browse.find_object("protkb", "NOPE99").is_err());
+        assert!(browse.find_object("missing", "P10001").is_err());
+    }
+
+    #[test]
+    fn view_exposes_all_four_neighbour_kinds() {
+        let aladin = warehouse();
+        let browse = BrowseEngine::new(&aladin);
+        let obj = browse.find_object("protkb", "P10001").unwrap();
+        let view = browse.view(&obj).unwrap();
+
+        // Attributes of the primary row.
+        assert!(view
+            .attributes
+            .iter()
+            .any(|(c, v)| c == "de" && v.contains("kinase")));
+        // Dependency: two keyword rows belong to P10001.
+        assert_eq!(view.annotation.len(), 2);
+        assert!(view.annotation.iter().all(|a| a.table == "protkb_kw"));
+        // Same relation: the two other proteins.
+        assert_eq!(view.same_relation.len(), 2);
+        // Linked: the structure cross-reference discovered at integration time.
+        assert!(view
+            .linked
+            .iter()
+            .any(|(o, kind, _)| o.accession == "1ABC" && *kind == LinkKind::ExplicitCrossRef));
+    }
+
+    #[test]
+    fn view_of_unknown_object_errors() {
+        let aladin = warehouse();
+        let browse = BrowseEngine::new(&aladin);
+        let bogus = ObjectRef::new("protkb", "protkb_entry", "P99999");
+        assert!(browse.view(&bogus).is_err());
+    }
+
+    #[test]
+    fn reachable_traverses_links() {
+        let aladin = warehouse();
+        let browse = BrowseEngine::new(&aladin);
+        let obj = browse.find_object("protkb", "P10001").unwrap();
+        let depth1 = browse.reachable(&obj, 1);
+        assert!(depth1.iter().any(|o| o.accession == "1ABC"));
+        let depth0 = browse.reachable(&obj, 0);
+        assert!(depth0.is_empty());
+        // Depth 2 reaches at least as much as depth 1.
+        assert!(browse.reachable(&obj, 2).len() >= depth1.len());
+    }
+}

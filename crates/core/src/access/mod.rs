@@ -1,0 +1,10 @@
+//! The data-access engine: browsing, searching and querying the integrated
+//! warehouse (paper, Section 4.6).
+
+pub mod browse;
+pub mod query;
+pub mod search;
+
+pub use browse::{BrowseEngine, NeighbourKind, ObjectView};
+pub use query::QueryEngine;
+pub use search::SearchEngine;

@@ -1,0 +1,209 @@
+//! Configuration of the ALADIN discovery heuristics.
+
+use serde::{Deserialize, Serialize};
+
+/// How primary relations are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrimarySelection {
+    /// Exactly one primary relation per source: the accession-carrying table
+    /// with the highest in-degree (the paper's default heuristic).
+    Single,
+    /// Allow several primary relations: every accession-carrying table whose
+    /// in-degree exceeds the average in-degree of the source (the EnsEmbl
+    /// extension sketched in Section 4.2).
+    Multiple,
+}
+
+/// Text-similarity measure used for duplicate scoring (ablated in E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DuplicateMeasure {
+    /// Normalized Levenshtein distance over concatenated annotation.
+    EditDistance,
+    /// Q-gram (trigram) similarity over concatenated annotation.
+    QGram,
+    /// TF-IDF cosine over concatenated annotation.
+    TfIdf,
+}
+
+/// Pruning switches for link discovery (ablated in E5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// Skip purely numeric attributes as link sources ("to avoid
+    /// misinterpretation of surrogate keys").
+    pub exclude_numeric: bool,
+    /// Skip attributes with fewer distinct values than
+    /// [`AladinConfig::min_distinct_values`] ("attributes with few distinct
+    /// values should be excluded from being a link source").
+    pub exclude_low_cardinality: bool,
+    /// Only consider accession columns of primary relations as link targets
+    /// (the paper's main pruning assumption).
+    pub targets_primary_only: bool,
+    /// Use pattern-profile statistics to skip attribute pairs whose value
+    /// shapes are incompatible.
+    pub use_statistics: bool,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig {
+            exclude_numeric: true,
+            exclude_low_cardinality: true,
+            targets_primary_only: true,
+            use_statistics: true,
+        }
+    }
+}
+
+impl PruningConfig {
+    /// Everything off: the exhaustive all-pairs comparison of Section 6.2.
+    pub fn none() -> PruningConfig {
+        PruningConfig {
+            exclude_numeric: false,
+            exclude_low_cardinality: false,
+            targets_primary_only: false,
+            use_statistics: false,
+        }
+    }
+}
+
+/// Configuration of all discovery heuristics, with the paper's thresholds as
+/// defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AladinConfig {
+    // -- accession candidate detection (Section 4.2) --
+    /// Minimum value length for an accession candidate (paper: 4, the PDB
+    /// accession length).
+    pub accession_min_length: usize,
+    /// Maximum relative length spread of accession values (paper: 20 %).
+    pub accession_max_length_spread: f64,
+    /// Maximum value length for an accession candidate. The paper gives only a
+    /// lower bound; the upper bound excludes sequence and free-text fields
+    /// that would otherwise pass the uniqueness/length-spread tests. Ablated
+    /// in experiment E3.
+    pub accession_max_length: usize,
+    /// Require at least one non-digit character in every value.
+    pub accession_require_non_digit: bool,
+    /// Reject candidates whose values contain whitespace (accession numbers
+    /// are single tokens; titles and descriptions are not).
+    pub accession_reject_whitespace: bool,
+    /// Minimum fraction of rows with a non-null value for a column to be an
+    /// accession candidate.
+    pub accession_min_coverage: f64,
+
+    // -- relationship discovery --
+    /// Maximum number of rows scanned per column for inclusion-dependency
+    /// mining; 0 means no sampling. (Section 6.2 mentions sampling as the
+    /// mitigation for the quadratic cost.)
+    pub relationship_sample_rows: usize,
+
+    // -- primary relation selection --
+    /// Single vs. multiple primary relations.
+    pub primary_selection: PrimarySelection,
+
+    // -- link discovery --
+    /// Pruning switches.
+    pub pruning: PruningConfig,
+    /// Minimum number of matching values for an attribute pair to be treated
+    /// as a cross-reference attribute.
+    pub link_min_matches: usize,
+    /// Minimum fraction of the source attribute's non-null values that must
+    /// match the target accession set.
+    pub link_min_match_fraction: f64,
+    /// Minimum distinct values for a link-source attribute (with
+    /// `exclude_low_cardinality`).
+    pub min_distinct_values: usize,
+    /// Minimum normalized similarity for a sequence-homology link.
+    pub sequence_link_threshold: f64,
+    /// Minimum TF-IDF cosine for a text-similarity link.
+    pub text_link_threshold: f64,
+    /// Maximum number of objects annotated with a term for the term to be
+    /// used for shared-term links (very common terms link everything).
+    pub shared_term_max_objects: usize,
+    /// Maximum number of implicit links kept per object pair discovery run
+    /// and per kind (guards against quadratic blow-up on large corpora).
+    pub max_implicit_links_per_pair: usize,
+
+    // -- duplicate detection --
+    /// Similarity threshold above which two objects are flagged duplicates.
+    pub duplicate_threshold: f64,
+    /// Text measure used in duplicate scoring.
+    pub duplicate_measure: DuplicateMeasure,
+    /// Number of nearest neighbours considered per object during duplicate
+    /// candidate generation.
+    pub duplicate_candidates: usize,
+
+    // -- maintenance --
+    /// Fraction of changed rows in a source above which a full re-analysis is
+    /// triggered (Section 6.2's change threshold).
+    pub refresh_change_threshold: f64,
+}
+
+impl Default for AladinConfig {
+    fn default() -> Self {
+        AladinConfig {
+            accession_min_length: 4,
+            accession_max_length_spread: 0.2,
+            accession_max_length: 32,
+            accession_require_non_digit: true,
+            accession_reject_whitespace: true,
+            accession_min_coverage: 0.9,
+            relationship_sample_rows: 0,
+            primary_selection: PrimarySelection::Single,
+            pruning: PruningConfig::default(),
+            link_min_matches: 2,
+            link_min_match_fraction: 0.05,
+            min_distinct_values: 3,
+            sequence_link_threshold: 0.5,
+            text_link_threshold: 0.35,
+            shared_term_max_objects: 50,
+            max_implicit_links_per_pair: 10_000,
+            duplicate_threshold: 0.55,
+            duplicate_measure: DuplicateMeasure::TfIdf,
+            duplicate_candidates: 5,
+            refresh_change_threshold: 0.1,
+        }
+    }
+}
+
+impl AladinConfig {
+    /// The default configuration with multi-primary detection enabled.
+    pub fn with_multiple_primaries() -> AladinConfig {
+        AladinConfig {
+            primary_selection: PrimarySelection::Multiple,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = AladinConfig::default();
+        assert_eq!(c.accession_min_length, 4);
+        assert!((c.accession_max_length_spread - 0.2).abs() < 1e-9);
+        assert!(c.accession_require_non_digit);
+        assert_eq!(c.primary_selection, PrimarySelection::Single);
+        assert!(c.pruning.exclude_numeric);
+        assert!(c.pruning.targets_primary_only);
+    }
+
+    #[test]
+    fn pruning_none_disables_everything() {
+        let p = PruningConfig::none();
+        assert!(!p.exclude_numeric);
+        assert!(!p.exclude_low_cardinality);
+        assert!(!p.targets_primary_only);
+        assert!(!p.use_statistics);
+    }
+
+    #[test]
+    fn multi_primary_preset() {
+        assert_eq!(
+            AladinConfig::with_multiple_primaries().primary_selection,
+            PrimarySelection::Multiple
+        );
+    }
+}

@@ -1,0 +1,582 @@
+//! Duplicate detection across data sources.
+//!
+//! "In the fifth step we search for a special kind of 'links' between primary
+//! objects in different data sources, i.e., those indicating that the database
+//! objects represent the same real world object. Such duplicate links are
+//! established if two objects are sufficiently similar according to some
+//! similarity metric. [...] here duplicates should be only flagged and not
+//! merged." (Sections 3 and 4.5)
+//!
+//! Candidate generation uses three signals: shared accession values (the PDB
+//! three-flavour case of the case study), explicit cross-references between
+//! the pair, and nearest neighbours in a TF-IDF space over the objects'
+//! flattened annotation. Candidates are then scored with a configurable
+//! similarity measure over the flattened annotation plus a sequence-identity
+//! bonus when both objects carry sequences.
+
+use crate::config::{AladinConfig, DuplicateMeasure};
+use crate::error::AladinResult;
+use crate::metadata::{Link, LinkKind, ObjectRef, SourceStructure};
+use crate::secondary::owner_accessions;
+use aladin_relstore::Database;
+use aladin_seq::align::local_align;
+use aladin_seq::alphabet::Alphabet;
+use aladin_seq::score::ScoringScheme;
+use aladin_textmine::distance::normalized_levenshtein;
+use aladin_textmine::qgram::qgram_similarity;
+use aladin_textmine::tfidf::{cosine_similarity, TfIdfModel};
+use std::collections::{HashMap, HashSet};
+
+/// The flattened representation of one primary object used for duplicate
+/// scoring: its accession, all its scalar annotation values concatenated, and
+/// its sequence (if any).
+#[derive(Debug, Clone)]
+pub struct ObjectProfile {
+    /// The object.
+    pub object: ObjectRef,
+    /// Concatenated textual annotation (primary-row values plus secondary
+    /// annotation), excluding the accession itself and sequences.
+    pub text: String,
+    /// The object's sequence, if one of its fields looks like a sequence.
+    pub sequence: Option<String>,
+    /// All rendered identifier-like values attached to the object (used for
+    /// shared-accession candidate generation).
+    pub identifiers: HashSet<String>,
+}
+
+/// Build the profiles of all primary objects of a source.
+pub fn build_profiles(
+    db: &Database,
+    structure: &SourceStructure,
+) -> AladinResult<Vec<ObjectProfile>> {
+    let mut profiles: HashMap<String, ObjectProfile> = HashMap::new();
+
+    for primary in &structure.primary_relations {
+        let table = db.table(&primary.table)?;
+        let acc_idx = table.column_index(&primary.accession_column)?;
+        for row in table.rows() {
+            let acc = &row[acc_idx];
+            if acc.is_null() {
+                continue;
+            }
+            let accession = acc.render();
+            let object = ObjectRef::new(db.name(), primary.table.clone(), accession.clone());
+            let entry = profiles.entry(accession.clone()).or_insert(ObjectProfile {
+                object,
+                text: String::new(),
+                sequence: None,
+                identifiers: HashSet::new(),
+            });
+            entry.identifiers.insert(accession.clone());
+            for (i, value) in row.iter().enumerate() {
+                if i == acc_idx || value.is_null() {
+                    continue;
+                }
+                append_value(entry, &value.render());
+            }
+        }
+    }
+
+    // Secondary annotation: walk every table with an owner path and append the
+    // values to the owning object's profile.
+    for cs in &structure.column_stats {
+        if structure.is_primary(&cs.table) {
+            continue;
+        }
+        let table = match db.table(&cs.table) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let col = match table.column_index(&cs.column) {
+            Ok(i) => i,
+            Err(_) => continue,
+        };
+        if cs.all_numeric {
+            continue; // surrogate keys and counters say nothing about identity
+        }
+        let owners = owner_accessions(
+            db,
+            &structure.primary_relations,
+            &structure.secondary_relations,
+            &structure.relationships,
+            &cs.table,
+        )
+        .unwrap_or_else(|_| vec![None; table.row_count()]);
+        for (row_idx, row) in table.rows().iter().enumerate() {
+            let v = &row[col];
+            if v.is_null() {
+                continue;
+            }
+            if let Some(owner) = owners.get(row_idx).cloned().flatten() {
+                if let Some(profile) = profiles.get_mut(&owner) {
+                    append_value(profile, &v.render());
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<ObjectProfile> = profiles.into_values().collect();
+    out.sort_by(|a, b| a.object.cmp(&b.object));
+    Ok(out)
+}
+
+fn append_value(profile: &mut ObjectProfile, rendered: &str) {
+    if rendered.is_empty() {
+        return;
+    }
+    if rendered.len() >= 30 && Alphabet::detect(rendered).is_some() {
+        // Keep the longest sequence seen for the object.
+        if profile
+            .sequence
+            .as_ref()
+            .map(|s| s.len() < rendered.len())
+            .unwrap_or(true)
+        {
+            profile.sequence = Some(rendered.to_string());
+        }
+        return;
+    }
+    if !rendered.contains(char::is_whitespace) && rendered.len() <= 24 {
+        profile.identifiers.insert(rendered.to_string());
+    }
+    if !profile.text.is_empty() {
+        profile.text.push(' ');
+    }
+    profile.text.push_str(rendered);
+}
+
+/// Score the similarity of two profiles in `[0, 1]`.
+///
+/// * Equal public accessions across sources (the PDB three-flavour case) are
+///   conclusive.
+/// * When both objects carry sequences, the sequence contribution is a ramp
+///   over the identity range `[0.8, 1.0]`: near-identical sequences are strong
+///   duplicate evidence, while "merely homologous" family members (≈85 %
+///   identity) contribute nothing — they are links, not duplicates.
+/// * A shared non-trivial identifier (one object's accession or name appearing
+///   verbatim among the other's identifier values) adds a bounded bonus; it is
+///   deliberately *not* conclusive, because a referencing object (an
+///   interaction listing a protein as participant) shares that identifier
+///   without being a duplicate.
+pub fn profile_similarity(
+    a: &ObjectProfile,
+    b: &ObjectProfile,
+    measure: DuplicateMeasure,
+    model: Option<&TfIdfModel>,
+) -> f64 {
+    if a.object.accession == b.object.accession {
+        return 1.0;
+    }
+    let text_sim = match measure {
+        DuplicateMeasure::EditDistance => normalized_levenshtein(&a.text, &b.text),
+        DuplicateMeasure::QGram => qgram_similarity(&a.text, &b.text, 3),
+        DuplicateMeasure::TfIdf => match model {
+            Some(m) => cosine_similarity(&m.vectorize(&a.text), &m.vectorize(&b.text)),
+            None => qgram_similarity(&a.text, &b.text, 3),
+        },
+    };
+    let seq_component = match (&a.sequence, &b.sequence) {
+        (Some(sa), Some(sb)) => {
+            let alphabet = Alphabet::detect(sa).unwrap_or(Alphabet::Protein);
+            let alignment = local_align(sa, sb, &ScoringScheme::for_alphabet(alphabet));
+            let shorter = sa.len().min(sb.len()).max(1);
+            let similarity = alignment.identity()
+                * (alignment.alignment_length.min(shorter) as f64 / shorter as f64);
+            Some(((similarity - 0.8) / 0.2).clamp(0.0, 1.0))
+        }
+        _ => None,
+    };
+    let mut score = match seq_component {
+        Some(s) => 0.5 * text_sim + 0.5 * s,
+        None => text_sim,
+    };
+    let shares_identifier = a.identifiers.contains(&b.object.accession)
+        || b.identifiers.contains(&a.object.accession);
+    if shares_identifier {
+        score = (score + 0.2).min(1.0);
+    }
+    score
+}
+
+/// Detect duplicates between the primary objects of two sources.
+///
+/// Returns duplicate links (kind [`LinkKind::Duplicate`]) with the similarity
+/// as score. `existing_links` (typically the explicit links already found
+/// between the pair) seed the candidate set.
+pub fn detect_duplicates(
+    a_db: &Database,
+    a_structure: &SourceStructure,
+    b_db: &Database,
+    b_structure: &SourceStructure,
+    existing_links: &[Link],
+    config: &AladinConfig,
+) -> AladinResult<Vec<Link>> {
+    let a_profiles = build_profiles(a_db, a_structure)?;
+    let b_profiles = build_profiles(b_db, b_structure)?;
+    if a_profiles.is_empty() || b_profiles.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let a_index: HashMap<&str, usize> = a_profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.object.accession.as_str(), i))
+        .collect();
+    let b_index: HashMap<&str, usize> = b_profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.object.accession.as_str(), i))
+        .collect();
+
+    // TF-IDF model over both sides (for the TfIdf measure and for candidate
+    // generation by nearest neighbour).
+    let model = TfIdfModel::fit(
+        a_profiles
+            .iter()
+            .map(|p| (format!("a/{}", p.object.accession), p.text.clone()))
+            .chain(
+                b_profiles
+                    .iter()
+                    .map(|p| (format!("b/{}", p.object.accession), p.text.clone())),
+            ),
+    );
+
+    let mut candidates: HashSet<(usize, usize)> = HashSet::new();
+
+    // 1. Shared identifiers (accessions appearing in both objects' values).
+    let mut b_by_identifier: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, p) in b_profiles.iter().enumerate() {
+        for id in &p.identifiers {
+            b_by_identifier.entry(id.as_str()).or_default().push(i);
+        }
+    }
+    for (i, p) in a_profiles.iter().enumerate() {
+        for id in &p.identifiers {
+            if let Some(matches) = b_by_identifier.get(id.as_str()) {
+                for &j in matches {
+                    candidates.insert((i, j));
+                }
+            }
+        }
+    }
+
+    // 2. Existing explicit links between the pair.
+    for link in existing_links {
+        let (a_obj, b_obj) = if link.from.source == a_db.name() && link.to.source == b_db.name() {
+            (&link.from, &link.to)
+        } else if link.from.source == b_db.name() && link.to.source == a_db.name() {
+            (&link.to, &link.from)
+        } else {
+            continue;
+        };
+        if let (Some(&i), Some(&j)) = (
+            a_index.get(a_obj.accession.as_str()),
+            b_index.get(b_obj.accession.as_str()),
+        ) {
+            candidates.insert((i, j));
+        }
+    }
+
+    // 3. Nearest neighbours in TF-IDF space.
+    for (i, p) in a_profiles.iter().enumerate() {
+        if p.text.is_empty() {
+            continue;
+        }
+        for (doc, _) in model.most_similar(&p.text, config.duplicate_candidates, &[]) {
+            if let Some(acc) = doc.strip_prefix("b/") {
+                if let Some(&j) = b_index.get(acc) {
+                    candidates.insert((i, j));
+                }
+            }
+        }
+    }
+
+    // Score candidates.
+    let mut links = Vec::new();
+    for (i, j) in candidates {
+        let a = &a_profiles[i];
+        let b = &b_profiles[j];
+        let score = profile_similarity(a, b, config.duplicate_measure, Some(&model));
+        if score >= config.duplicate_threshold {
+            links.push(Link {
+                from: a.object.clone(),
+                to: b.object.clone(),
+                kind: LinkKind::Duplicate,
+                score,
+                evidence: format!("{:?} similarity {score:.2}", config.duplicate_measure),
+            });
+        }
+    }
+    links.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.from.cmp(&y.from))
+    });
+    Ok(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze_database;
+    use aladin_relstore::{ColumnDef, TableSchema, Value};
+
+    fn seq(base: &str, n: usize) -> String {
+        base.repeat(n)
+    }
+
+    fn protkb() -> Database {
+        let mut db = Database::new("protkb");
+        db.create_table(
+            "entries",
+            TableSchema::of(vec![
+                ColumnDef::text("acc"),
+                ColumnDef::text("name"),
+                ColumnDef::text("description"),
+                ColumnDef::text("sequence"),
+            ]),
+        )
+        .unwrap();
+        // Name lengths vary widely so the name column is (correctly) not an
+        // accession candidate and `acc` remains the accession column.
+        let rows = [
+            ("P10001", "STK1_HUMAN", "serine threonine kinase 1 involved in cell cycle regulation", seq("MKTAYIAKQRQISFVKSHFSRQ", 3)),
+            ("P10002", "GLUT1_TRANSPORTER_HUMAN", "glucose membrane transporter of the plasma membrane", seq("GGGGWWWWLLLLNNNNPPPPRRRR", 3)),
+            ("P10003", "RB_HUMAN", "ribosomal assembly factor for the small subunit", seq("AAAACCCCDDDDEEEEFFFFHHHH", 3)),
+        ];
+        for (acc, name, desc, sequence) in rows {
+            db.insert(
+                "entries",
+                vec![
+                    Value::text(acc),
+                    Value::text(name),
+                    Value::text(desc),
+                    Value::text(sequence),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn archive(with_ref: bool) -> Database {
+        let mut db = Database::new("archive");
+        db.create_table(
+            "archive_proteins",
+            TableSchema::of(vec![
+                ColumnDef::text("archive_id"),
+                ColumnDef::text("protein_name"),
+                ColumnDef::text("function_note"),
+                ColumnDef::text("sequence"),
+                ColumnDef::text("uniprot_ref"),
+            ]),
+        )
+        .unwrap();
+        let rows = [
+            (
+                "PA0001",
+                "serine threonine kinase 1 (STK1)",
+                "probable serine threonine kinase 1 associated with cell cycle regulation",
+                seq("MKTAYIAKQRQISFVKSHFSRQ", 3),
+                if with_ref { "P10001" } else { "" },
+            ),
+            (
+                "PA0002",
+                "heat shock chaperone (HSP)",
+                "heat shock chaperone responding to oxidative stress in the cytoplasm",
+                seq("YYYYTTTTKKKKMMMMSSSSVVVV", 3),
+                "",
+            ),
+        ];
+        for (acc, name, note, sequence, uref) in rows {
+            db.insert(
+                "archive_proteins",
+                vec![
+                    Value::text(acc),
+                    Value::text(name),
+                    Value::text(note),
+                    Value::text(sequence),
+                    if uref.is_empty() { Value::Null } else { Value::text(uref) },
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn config() -> AladinConfig {
+        AladinConfig {
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            duplicate_threshold: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn profiles_capture_text_sequence_and_identifiers() {
+        let db = protkb();
+        let cfg = config();
+        let structure = analyze_database(&db, &cfg).unwrap();
+        let profiles = build_profiles(&db, &structure).unwrap();
+        assert_eq!(profiles.len(), 3);
+        let p1 = profiles.iter().find(|p| p.object.accession == "P10001").unwrap();
+        assert!(p1.text.contains("serine threonine kinase"));
+        assert!(p1.sequence.is_some());
+        assert!(p1.identifiers.contains("P10001"));
+        assert!(p1.identifiers.contains("STK1_HUMAN"));
+        let p2 = profiles.iter().find(|p| p.object.accession == "P10002").unwrap();
+        assert!(p2.identifiers.contains("GLUT1_TRANSPORTER_HUMAN"));
+    }
+
+    #[test]
+    fn detects_duplicates_by_annotation_and_sequence_similarity() {
+        let cfg = config();
+        let a = protkb();
+        let b = archive(false);
+        let sa = analyze_database(&a, &cfg).unwrap();
+        let sb = analyze_database(&b, &cfg).unwrap();
+        let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+        assert!(dups
+            .iter()
+            .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"));
+        // The unrelated archive entry is not a duplicate of anything.
+        assert!(!dups.iter().any(|d| d.to.accession == "PA0002"));
+        assert!(dups.iter().all(|d| d.kind == LinkKind::Duplicate));
+        assert!(dups.iter().all(|d| d.score >= cfg.duplicate_threshold));
+    }
+
+    #[test]
+    fn shared_accession_values_boost_the_score() {
+        let cfg = config();
+        let a = protkb();
+        let without_ref = {
+            let b = archive(false);
+            let sa = analyze_database(&a, &cfg).unwrap();
+            let sb = analyze_database(&b, &cfg).unwrap();
+            detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
+                .unwrap()
+                .into_iter()
+                .find(|d| d.from.accession == "P10001" && d.to.accession == "PA0001")
+                .expect("duplicate must be found even without the reference")
+                .score
+        };
+        let with_ref = {
+            let b = archive(true); // carries uniprot_ref = P10001
+            let sa = analyze_database(&a, &cfg).unwrap();
+            let sb = analyze_database(&b, &cfg).unwrap();
+            detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
+                .unwrap()
+                .into_iter()
+                .find(|d| d.from.accession == "P10001" && d.to.accession == "PA0001")
+                .expect("shared accession must be flagged")
+                .score
+        };
+        assert!(with_ref >= without_ref);
+        assert!(with_ref >= cfg.duplicate_threshold);
+    }
+
+    #[test]
+    fn equal_accessions_across_sources_are_conclusive() {
+        // The PDB three-flavour case: the same accession in two sources.
+        let profile = |source: &str, text: &str| ObjectProfile {
+            object: ObjectRef::new(source, "structures", "1ABC"),
+            text: text.to_string(),
+            sequence: None,
+            identifiers: HashSet::from(["1ABC".to_string()]),
+        };
+        let a = profile("structdb", "crystal structure of a kinase");
+        let b = profile("structdb_msd", "CRYSTAL STRUCTURE OF A KINASE");
+        assert_eq!(
+            profile_similarity(&a, &b, DuplicateMeasure::QGram, None),
+            1.0
+        );
+    }
+
+    #[test]
+    fn referencing_objects_are_not_duplicates_of_their_targets() {
+        // An interaction record listing P10001 as a participant shares the
+        // identifier but has nothing else in common with the protein entry.
+        let protein = ObjectProfile {
+            object: ObjectRef::new("protkb", "entries", "P10001"),
+            text: "serine threonine kinase involved in cell cycle regulation Homo sapiens".into(),
+            sequence: Some("MKTAYIAKQRQISFVKSHFSRQ".repeat(3)),
+            identifiers: HashSet::from(["P10001".to_string(), "STK1_HUMAN".to_string()]),
+        };
+        let interaction = ObjectProfile {
+            object: ObjectRef::new("interactdb", "interactions_interaction", "BI-000001"),
+            text: "two hybrid 0.87 bait prey".into(),
+            sequence: None,
+            identifiers: HashSet::from(["BI-000001".to_string(), "P10001".to_string()]),
+        };
+        let score = profile_similarity(&protein, &interaction, DuplicateMeasure::TfIdf, None);
+        assert!(score < 0.5, "referencing object scored {score:.2}");
+    }
+
+    #[test]
+    fn duplicate_measures_are_ablatable() {
+        let a = protkb();
+        let b = archive(false);
+        for measure in [
+            DuplicateMeasure::EditDistance,
+            DuplicateMeasure::QGram,
+            DuplicateMeasure::TfIdf,
+        ] {
+            let cfg = AladinConfig {
+                duplicate_measure: measure,
+                duplicate_threshold: 0.4,
+                ..config()
+            };
+            let sa = analyze_database(&a, &cfg).unwrap();
+            let sb = analyze_database(&b, &cfg).unwrap();
+            let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+            assert!(
+                dups.iter()
+                    .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"),
+                "measure {measure:?} missed the true duplicate"
+            );
+        }
+    }
+
+    #[test]
+    fn existing_links_seed_candidates() {
+        let cfg = AladinConfig {
+            duplicate_candidates: 0, // disable nearest-neighbour generation
+            ..config()
+        };
+        let a = protkb();
+        let b = archive(false);
+        let sa = analyze_database(&a, &cfg).unwrap();
+        let sb = analyze_database(&b, &cfg).unwrap();
+        let seed = Link {
+            from: ObjectRef::new("protkb", "entries", "P10001"),
+            to: ObjectRef::new("archive", "archive_proteins", "PA0001"),
+            kind: LinkKind::ExplicitCrossRef,
+            score: 1.0,
+            evidence: "seed".into(),
+        };
+        let dups = detect_duplicates(&a, &sa, &b, &sb, &[seed], &cfg).unwrap();
+        assert!(dups
+            .iter()
+            .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"));
+    }
+
+    #[test]
+    fn empty_sources_produce_no_duplicates() {
+        let cfg = config();
+        let a = protkb();
+        let sa = analyze_database(&a, &cfg).unwrap();
+        let mut empty = Database::new("empty");
+        empty
+            .create_table("t", TableSchema::of(vec![ColumnDef::text("acc")]))
+            .unwrap();
+        let se = SourceStructure {
+            source: "empty".into(),
+            ..Default::default()
+        };
+        assert!(detect_duplicates(&a, &sa, &empty, &se, &[], &cfg)
+            .unwrap()
+            .is_empty());
+    }
+}

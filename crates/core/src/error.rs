@@ -1,0 +1,73 @@
+//! Error type of the ALADIN system.
+
+use aladin_import::ImportError;
+use aladin_relstore::RelError;
+use std::fmt;
+
+/// Errors produced by the ALADIN pipeline and access engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AladinError {
+    /// Error from the relational substrate.
+    Storage(RelError),
+    /// Error from the import component.
+    Import(ImportError),
+    /// A source name was not found in the warehouse.
+    UnknownSource(String),
+    /// A requested object (source + accession) does not exist.
+    UnknownObject(String),
+    /// The discovery steps could not produce a usable result.
+    Discovery(String),
+    /// A source with the same name is already integrated.
+    DuplicateSource(String),
+}
+
+impl fmt::Display for AladinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AladinError::Storage(e) => write!(f, "storage error: {e}"),
+            AladinError::Import(e) => write!(f, "import error: {e}"),
+            AladinError::UnknownSource(s) => write!(f, "unknown source: {s}"),
+            AladinError::UnknownObject(s) => write!(f, "unknown object: {s}"),
+            AladinError::Discovery(m) => write!(f, "discovery failed: {m}"),
+            AladinError::DuplicateSource(s) => write!(f, "source already integrated: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AladinError {}
+
+impl From<RelError> for AladinError {
+    fn from(e: RelError) -> Self {
+        AladinError::Storage(e)
+    }
+}
+
+impl From<ImportError> for AladinError {
+    fn from(e: ImportError) -> Self {
+        AladinError::Import(e)
+    }
+}
+
+/// Convenience result alias.
+pub type AladinResult<T> = Result<T, AladinError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AladinError = RelError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: AladinError = ImportError::Malformed("x".into()).into();
+        assert!(e.to_string().contains("malformed"));
+        assert_eq!(
+            AladinError::UnknownSource("s".into()).to_string(),
+            "unknown source: s"
+        );
+        assert_eq!(
+            AladinError::DuplicateSource("s".into()).to_string(),
+            "source already integrated: s"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Link discovery: explicit cross-references and implicit relationships
+//! between objects of different data sources (paper, Section 4.4).
+
+pub mod explicit;
+pub mod implicit;
+pub mod prune;
+
+pub use explicit::discover_explicit_links;
+pub use implicit::{discover_sequence_links, discover_shared_term_links, discover_text_links};
+pub use prune::{candidate_source_attributes, CandidateAttribute, PruningStats};

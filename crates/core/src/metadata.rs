@@ -1,0 +1,406 @@
+//! The central metadata repository.
+//!
+//! "The process of discovering new structures and links produces much metadata
+//! that is stored in a central repository [which] contains not only known and
+//! discovered schemata, but also information about primary and secondary
+//! relations, statistical metadata, and sample data to improve discovery
+//! efficiency. Finally, a large part of storage space will be consumed by the
+//! discovered links on the object level." (paper, Section 3)
+
+use aladin_relstore::stats::ColumnStats;
+use aladin_schema_match::ind::InclusionDependency;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A reference to a primary object in the warehouse.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectRef {
+    /// Data source (database) name.
+    pub source: String,
+    /// Table holding the object (a primary relation).
+    pub table: String,
+    /// Accession (public identifier) of the object.
+    pub accession: String,
+}
+
+impl ObjectRef {
+    /// Convenience constructor.
+    pub fn new(
+        source: impl Into<String>,
+        table: impl Into<String>,
+        accession: impl Into<String>,
+    ) -> ObjectRef {
+        ObjectRef {
+            source: source.into(),
+            table: table.into(),
+            accession: accession.into(),
+        }
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.source, self.accession)
+    }
+}
+
+/// The kind of a discovered object-level link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// An explicit cross-reference found in the data.
+    ExplicitCrossRef,
+    /// An implicit link based on sequence homology.
+    SequenceSimilarity,
+    /// An implicit link based on text similarity of annotation fields.
+    TextSimilarity,
+    /// An implicit link based on a shared controlled-vocabulary term.
+    SharedTerm,
+    /// A duplicate link: the two objects describe the same real-world object.
+    Duplicate,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::ExplicitCrossRef => "explicit",
+            LinkKind::SequenceSimilarity => "sequence",
+            LinkKind::TextSimilarity => "text",
+            LinkKind::SharedTerm => "shared-term",
+            LinkKind::Duplicate => "duplicate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A discovered object-level link between two primary objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// The referencing / first object.
+    pub from: ObjectRef,
+    /// The referenced / second object.
+    pub to: ObjectRef,
+    /// How the link was discovered.
+    pub kind: LinkKind,
+    /// Confidence score in `[0, 1]` (1.0 for exact explicit references).
+    pub score: f64,
+    /// Human-readable evidence (matched value, alignment identity, ...).
+    pub evidence: String,
+}
+
+impl Link {
+    /// True if this link connects the two given objects, in either direction.
+    pub fn connects(&self, a: &ObjectRef, b: &ObjectRef) -> bool {
+        (&self.from == a && &self.to == b) || (&self.from == b && &self.to == a)
+    }
+}
+
+/// A detected primary relation of a source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimaryRelation {
+    /// Table name.
+    pub table: String,
+    /// The accession-number column.
+    pub accession_column: String,
+    /// In-degree of the table in the relationship graph (the quantity the
+    /// selection heuristic maximizes).
+    pub in_degree: usize,
+}
+
+/// A secondary relation: annotation of primary objects, reachable via a path
+/// of relationships.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecondaryRelation {
+    /// Table name.
+    pub table: String,
+    /// The primary relation this table annotates.
+    pub primary_table: String,
+    /// Path of table names from the primary relation to this table
+    /// (inclusive on both ends).
+    pub path: Vec<String>,
+}
+
+/// A detected unique attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniqueColumn {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Whether uniqueness was declared in the data dictionary (vs. detected
+    /// by scanning).
+    pub declared: bool,
+}
+
+/// An accession-number candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessionCandidate {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Average value length (ties between candidates of the same table are
+    /// broken in favour of the longer average).
+    pub avg_length: f64,
+}
+
+/// Everything ALADIN has discovered about the internal structure of one
+/// source.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SourceStructure {
+    /// Source name.
+    pub source: String,
+    /// Detected or declared unique attributes.
+    pub unique_columns: Vec<UniqueColumn>,
+    /// Accession-number candidates (at most one per table).
+    pub accession_candidates: Vec<AccessionCandidate>,
+    /// Declared and guessed relationships (inclusion dependencies).
+    pub relationships: Vec<InclusionDependency>,
+    /// Selected primary relation(s).
+    pub primary_relations: Vec<PrimaryRelation>,
+    /// Secondary relations with their paths.
+    pub secondary_relations: Vec<SecondaryRelation>,
+    /// Column statistics (the reusable statistical metadata).
+    pub column_stats: Vec<ColumnStats>,
+}
+
+impl SourceStructure {
+    /// The statistics of one column, if profiled.
+    pub fn stats(&self, table: &str, column: &str) -> Option<&ColumnStats> {
+        self.column_stats
+            .iter()
+            .find(|s| s.table.eq_ignore_ascii_case(table) && s.column.eq_ignore_ascii_case(column))
+    }
+
+    /// Whether the given table is one of the primary relations.
+    pub fn is_primary(&self, table: &str) -> bool {
+        self.primary_relations
+            .iter()
+            .any(|p| p.table.eq_ignore_ascii_case(table))
+    }
+
+    /// The accession column of a primary table, if it is primary.
+    pub fn accession_column_of(&self, table: &str) -> Option<&str> {
+        self.primary_relations
+            .iter()
+            .find(|p| p.table.eq_ignore_ascii_case(table))
+            .map(|p| p.accession_column.as_str())
+    }
+
+    /// The secondary-relation record for a table, if any.
+    pub fn secondary(&self, table: &str) -> Option<&SecondaryRelation> {
+        self.secondary_relations
+            .iter()
+            .find(|s| s.table.eq_ignore_ascii_case(table))
+    }
+}
+
+/// Wall-clock timing of one step of the integration process for one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Source the step ran for.
+    pub source: String,
+    /// Step name ("import", "primary discovery", ...).
+    pub step: String,
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+    /// Number of output items produced (rows, relationships, links, ...).
+    pub output_count: usize,
+}
+
+/// The metadata repository.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetadataRepository {
+    structures: BTreeMap<String, SourceStructure>,
+    links: Vec<Link>,
+    duplicates: Vec<Link>,
+    timings: Vec<StepTiming>,
+}
+
+impl MetadataRepository {
+    /// Create an empty repository.
+    pub fn new() -> MetadataRepository {
+        MetadataRepository::default()
+    }
+
+    /// Register (or replace) the structure of a source.
+    pub fn put_structure(&mut self, structure: SourceStructure) {
+        self.structures.insert(structure.source.clone(), structure);
+    }
+
+    /// The structure of a source, if registered.
+    pub fn structure(&self, source: &str) -> Option<&SourceStructure> {
+        self.structures.get(source)
+    }
+
+    /// All registered structures in source-name order.
+    pub fn structures(&self) -> impl Iterator<Item = &SourceStructure> {
+        self.structures.values()
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// Remove a source's structure, its links and its duplicates (used on
+    /// refresh).
+    pub fn remove_source(&mut self, source: &str) {
+        self.structures.remove(source);
+        self.links
+            .retain(|l| l.from.source != source && l.to.source != source);
+        self.duplicates
+            .retain(|l| l.from.source != source && l.to.source != source);
+        self.timings.retain(|t| t.source != source);
+    }
+
+    /// Store discovered object-level links.
+    pub fn add_links(&mut self, links: impl IntoIterator<Item = Link>) {
+        self.links.extend(links);
+    }
+
+    /// Store discovered duplicate links.
+    pub fn add_duplicates(&mut self, duplicates: impl IntoIterator<Item = Link>) {
+        self.duplicates.extend(duplicates);
+    }
+
+    /// All stored links (excluding duplicates).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All stored duplicate links.
+    pub fn duplicates(&self) -> &[Link] {
+        &self.duplicates
+    }
+
+    /// Links attached to a given object (as source or target), including
+    /// duplicates.
+    pub fn links_of(&self, object: &ObjectRef) -> Vec<&Link> {
+        self.links
+            .iter()
+            .chain(self.duplicates.iter())
+            .filter(|l| &l.from == object || &l.to == object)
+            .collect()
+    }
+
+    /// Record a step timing.
+    pub fn add_timing(&mut self, timing: StepTiming) {
+        self.timings.push(timing);
+    }
+
+    /// All recorded timings.
+    pub fn timings(&self) -> &[StepTiming] {
+        &self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(from_acc: &str, to_acc: &str, kind: LinkKind) -> Link {
+        Link {
+            from: ObjectRef::new("protkb", "protkb_entry", from_acc),
+            to: ObjectRef::new("structdb", "structures", to_acc),
+            kind,
+            score: 1.0,
+            evidence: "test".into(),
+        }
+    }
+
+    #[test]
+    fn object_ref_display() {
+        let o = ObjectRef::new("protkb", "protkb_entry", "P10000");
+        assert_eq!(o.to_string(), "protkb:P10000");
+    }
+
+    #[test]
+    fn link_connects_is_symmetric() {
+        let l = link("P1", "1ABC", LinkKind::ExplicitCrossRef);
+        let a = ObjectRef::new("protkb", "protkb_entry", "P1");
+        let b = ObjectRef::new("structdb", "structures", "1ABC");
+        assert!(l.connects(&a, &b));
+        assert!(l.connects(&b, &a));
+        let c = ObjectRef::new("structdb", "structures", "9ZZZ");
+        assert!(!l.connects(&a, &c));
+    }
+
+    #[test]
+    fn repository_stores_and_filters() {
+        let mut repo = MetadataRepository::new();
+        repo.put_structure(SourceStructure {
+            source: "protkb".into(),
+            ..Default::default()
+        });
+        repo.put_structure(SourceStructure {
+            source: "structdb".into(),
+            ..Default::default()
+        });
+        assert_eq!(repo.source_count(), 2);
+        assert!(repo.structure("protkb").is_some());
+        assert!(repo.structure("nope").is_none());
+
+        repo.add_links(vec![link("P1", "1ABC", LinkKind::ExplicitCrossRef)]);
+        repo.add_duplicates(vec![link("P1", "1ABC", LinkKind::Duplicate)]);
+        assert_eq!(repo.links().len(), 1);
+        assert_eq!(repo.duplicates().len(), 1);
+
+        let obj = ObjectRef::new("protkb", "protkb_entry", "P1");
+        assert_eq!(repo.links_of(&obj).len(), 2);
+        let other = ObjectRef::new("protkb", "protkb_entry", "P9");
+        assert!(repo.links_of(&other).is_empty());
+    }
+
+    #[test]
+    fn removing_a_source_drops_its_links() {
+        let mut repo = MetadataRepository::new();
+        repo.put_structure(SourceStructure {
+            source: "structdb".into(),
+            ..Default::default()
+        });
+        repo.add_links(vec![link("P1", "1ABC", LinkKind::ExplicitCrossRef)]);
+        repo.add_timing(StepTiming {
+            source: "structdb".into(),
+            step: "link discovery".into(),
+            elapsed: Duration::from_millis(5),
+            output_count: 1,
+        });
+        repo.remove_source("structdb");
+        assert!(repo.structure("structdb").is_none());
+        assert!(repo.links().is_empty());
+        assert!(repo.timings().is_empty());
+    }
+
+    #[test]
+    fn source_structure_lookups() {
+        let s = SourceStructure {
+            source: "protkb".into(),
+            primary_relations: vec![PrimaryRelation {
+                table: "protkb_entry".into(),
+                accession_column: "ac".into(),
+                in_degree: 3,
+            }],
+            secondary_relations: vec![SecondaryRelation {
+                table: "protkb_kw".into(),
+                primary_table: "protkb_entry".into(),
+                path: vec!["protkb_entry".into(), "protkb_kw".into()],
+            }],
+            ..Default::default()
+        };
+        assert!(s.is_primary("PROTKB_ENTRY"));
+        assert!(!s.is_primary("protkb_kw"));
+        assert_eq!(s.accession_column_of("protkb_entry"), Some("ac"));
+        assert_eq!(s.accession_column_of("protkb_kw"), None);
+        assert!(s.secondary("protkb_kw").is_some());
+        assert!(s.stats("protkb_entry", "ac").is_none());
+    }
+
+    #[test]
+    fn link_kind_display() {
+        assert_eq!(LinkKind::ExplicitCrossRef.to_string(), "explicit");
+        assert_eq!(LinkKind::Duplicate.to_string(), "duplicate");
+        assert_eq!(LinkKind::SequenceSimilarity.to_string(), "sequence");
+    }
+}

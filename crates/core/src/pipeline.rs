@@ -1,0 +1,599 @@
+//! The ALADIN integration pipeline.
+//!
+//! [`Aladin`] is the warehouse plus the orchestration of the five-step
+//! integration process (Figure 2 of the paper). Sources are added
+//! incrementally: analysing a new source "does not involve data or metadata
+//! from other data sources" (steps 1–3), and only link discovery and duplicate
+//! detection (steps 4–5) touch the already-integrated sources.
+
+use crate::accession::detect_accession_candidates;
+use crate::config::AladinConfig;
+use crate::duplicates::detect_duplicates;
+use crate::error::{AladinError, AladinResult};
+use crate::links::explicit::discover_explicit_links;
+use crate::links::implicit::{
+    discover_sequence_links, discover_shared_term_links, discover_text_links,
+};
+use crate::metadata::{
+    Link, MetadataRepository, ObjectRef, SourceStructure, StepTiming,
+};
+use crate::primary::select_primary_relations;
+use crate::relationships::discover_relationships;
+use crate::secondary::discover_secondary_relations;
+use crate::unique::detect_unique_columns;
+use aladin_import::{import_files, SourceFormat};
+use aladin_relstore::stats::profile_table;
+use aladin_relstore::Database;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Number of sample values stored per column in the metadata repository.
+const SAMPLE_SIZE: usize = 10;
+
+/// Analyse the internal structure of a single source (steps 2 and 3 of the
+/// integration process), without reference to any other source.
+pub fn analyze_database(db: &Database, config: &AladinConfig) -> AladinResult<SourceStructure> {
+    // Column statistics (the reusable statistical metadata).
+    let mut column_stats = Vec::new();
+    for table in db.tables() {
+        column_stats.extend(profile_table(table, SAMPLE_SIZE)?);
+    }
+    // Step 2: unique attributes, accession candidates, relationships, primary.
+    let unique_columns = detect_unique_columns(db)?;
+    let accession_candidates =
+        detect_accession_candidates(db, &unique_columns, &column_stats, config)?;
+    let relationships = discover_relationships(db, &unique_columns, config)?;
+    let primary_relations =
+        match select_primary_relations(&accession_candidates, &relationships, config) {
+            Ok(p) => p,
+            Err(AladinError::Discovery(_)) => Vec::new(), // tolerated failure mode
+            Err(e) => return Err(e),
+        };
+    // Step 3: secondary relations.
+    let secondary_relations = discover_secondary_relations(db, &primary_relations, &relationships);
+
+    Ok(SourceStructure {
+        source: db.name().to_string(),
+        unique_columns,
+        accession_candidates,
+        relationships,
+        primary_relations,
+        secondary_relations,
+        column_stats,
+    })
+}
+
+/// Summary of integrating one source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntegrationReport {
+    /// Source name.
+    pub source: String,
+    /// Number of tables imported.
+    pub tables: usize,
+    /// Number of rows imported.
+    pub rows: usize,
+    /// Detected primary relations (table, accession column).
+    pub primary_relations: Vec<(String, String)>,
+    /// Number of secondary relations.
+    pub secondary_relations: usize,
+    /// Number of guessed or declared relationships.
+    pub relationships: usize,
+    /// Explicit cross-reference links discovered against existing sources.
+    pub explicit_links: usize,
+    /// Implicit links (sequence, text, shared-term) discovered.
+    pub implicit_links: usize,
+    /// Duplicate links discovered.
+    pub duplicates: usize,
+    /// Attribute pairs compared during link discovery (pruning metric).
+    pub pairs_compared: usize,
+    /// Per-step wall-clock timings.
+    pub step_timings: Vec<(String, Duration)>,
+}
+
+impl IntegrationReport {
+    /// Total elapsed time across all steps.
+    pub fn total_elapsed(&self) -> Duration {
+        self.step_timings.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Which link-discovery families to run (used by experiments to isolate
+/// costs; the default runs everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkDiscoveryPlan {
+    /// Run explicit cross-reference discovery.
+    pub explicit: bool,
+    /// Run sequence-homology link discovery.
+    pub sequence: bool,
+    /// Run text-similarity link discovery.
+    pub text: bool,
+    /// Run shared-term link discovery.
+    pub shared_terms: bool,
+    /// Run duplicate detection.
+    pub duplicates: bool,
+}
+
+impl Default for LinkDiscoveryPlan {
+    fn default() -> Self {
+        LinkDiscoveryPlan {
+            explicit: true,
+            sequence: true,
+            text: true,
+            shared_terms: true,
+            duplicates: true,
+        }
+    }
+}
+
+impl LinkDiscoveryPlan {
+    /// Only explicit cross-reference discovery and duplicates.
+    pub fn explicit_only() -> LinkDiscoveryPlan {
+        LinkDiscoveryPlan {
+            explicit: true,
+            sequence: false,
+            text: false,
+            shared_terms: false,
+            duplicates: true,
+        }
+    }
+}
+
+/// The ALADIN warehouse and integration pipeline.
+#[derive(Debug, Clone)]
+pub struct Aladin {
+    config: AladinConfig,
+    plan: LinkDiscoveryPlan,
+    warehouse: BTreeMap<String, Database>,
+    metadata: MetadataRepository,
+}
+
+impl Aladin {
+    /// Create an empty warehouse with the given configuration.
+    pub fn new(config: AladinConfig) -> Aladin {
+        Aladin {
+            config,
+            plan: LinkDiscoveryPlan::default(),
+            warehouse: BTreeMap::new(),
+            metadata: MetadataRepository::new(),
+        }
+    }
+
+    /// Create an empty warehouse with the default configuration.
+    pub fn with_defaults() -> Aladin {
+        Aladin::new(AladinConfig::default())
+    }
+
+    /// Replace the link-discovery plan (which families of links are computed).
+    pub fn set_link_plan(&mut self, plan: LinkDiscoveryPlan) {
+        self.plan = plan;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AladinConfig {
+        &self.config
+    }
+
+    /// The metadata repository.
+    pub fn metadata(&self) -> &MetadataRepository {
+        &self.metadata
+    }
+
+    /// Names of the integrated sources.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.warehouse.keys().map(String::as_str).collect()
+    }
+
+    /// The imported database of a source.
+    pub fn database(&self, source: &str) -> AladinResult<&Database> {
+        self.warehouse
+            .get(source)
+            .ok_or_else(|| AladinError::UnknownSource(source.to_string()))
+    }
+
+    /// Number of integrated sources.
+    pub fn source_count(&self) -> usize {
+        self.warehouse.len()
+    }
+
+    /// Import and integrate a source given as raw files (step 1 + steps 2–5).
+    pub fn add_source_files(
+        &mut self,
+        source_name: &str,
+        format: SourceFormat,
+        files: &[(String, String)],
+    ) -> AladinResult<IntegrationReport> {
+        let start = Instant::now();
+        let db = import_files(source_name, format, files)?;
+        let import_elapsed = start.elapsed();
+        let mut report = self.add_database(db)?;
+        report
+            .step_timings
+            .insert(0, ("import".to_string(), import_elapsed));
+        Ok(report)
+    }
+
+    /// Integrate an already-imported relational database (steps 2–5).
+    pub fn add_database(&mut self, db: Database) -> AladinResult<IntegrationReport> {
+        let name = db.name().to_string();
+        if self.warehouse.contains_key(&name) {
+            return Err(AladinError::DuplicateSource(name));
+        }
+        let mut timings: Vec<(String, Duration)> = Vec::new();
+
+        // Steps 2 + 3: source-local analysis.
+        let start = Instant::now();
+        let structure = analyze_database(&db, &self.config)?;
+        timings.push(("structure discovery".to_string(), start.elapsed()));
+
+        // Steps 4 + 5 against every already-integrated source.
+        let mut explicit_links: Vec<Link> = Vec::new();
+        let mut implicit_links: Vec<Link> = Vec::new();
+        let mut duplicate_links: Vec<Link> = Vec::new();
+        let mut pairs_compared = 0usize;
+
+        let start = Instant::now();
+        for (other_name, other_db) in &self.warehouse {
+            let other_structure = self
+                .metadata
+                .structure(other_name)
+                .cloned()
+                .unwrap_or_default();
+            if self.plan.explicit {
+                let out = discover_explicit_links(
+                    &db,
+                    &structure,
+                    other_db,
+                    &other_structure,
+                    &self.config,
+                )?;
+                pairs_compared += out.pairs_compared;
+                explicit_links.extend(out.links);
+                let out = discover_explicit_links(
+                    other_db,
+                    &other_structure,
+                    &db,
+                    &structure,
+                    &self.config,
+                )?;
+                pairs_compared += out.pairs_compared;
+                explicit_links.extend(out.links);
+            }
+            if self.plan.sequence {
+                implicit_links.extend(discover_sequence_links(
+                    &db,
+                    &structure,
+                    other_db,
+                    &other_structure,
+                    &self.config,
+                )?);
+            }
+            if self.plan.text {
+                implicit_links.extend(discover_text_links(
+                    &db,
+                    &structure,
+                    other_db,
+                    &other_structure,
+                    &self.config,
+                )?);
+            }
+            if self.plan.shared_terms {
+                implicit_links.extend(discover_shared_term_links(
+                    &db,
+                    &structure,
+                    other_db,
+                    &other_structure,
+                    &self.config,
+                )?);
+            }
+        }
+        timings.push(("link discovery".to_string(), start.elapsed()));
+
+        let start = Instant::now();
+        if self.plan.duplicates {
+            for (other_name, other_db) in &self.warehouse {
+                let other_structure = self
+                    .metadata
+                    .structure(other_name)
+                    .cloned()
+                    .unwrap_or_default();
+                let seeds: Vec<Link> = explicit_links
+                    .iter()
+                    .filter(|l| {
+                        (l.from.source == name && l.to.source == *other_name)
+                            || (l.from.source == *other_name && l.to.source == name)
+                    })
+                    .cloned()
+                    .collect();
+                duplicate_links.extend(detect_duplicates(
+                    &db,
+                    &structure,
+                    other_db,
+                    &other_structure,
+                    &seeds,
+                    &self.config,
+                )?);
+            }
+        }
+        timings.push(("duplicate detection".to_string(), start.elapsed()));
+
+        // Commit to the metadata repository and the warehouse.
+        let report = IntegrationReport {
+            source: name.clone(),
+            tables: db.table_count(),
+            rows: db.total_rows(),
+            primary_relations: structure
+                .primary_relations
+                .iter()
+                .map(|p| (p.table.clone(), p.accession_column.clone()))
+                .collect(),
+            secondary_relations: structure.secondary_relations.len(),
+            relationships: structure.relationships.len(),
+            explicit_links: explicit_links.len(),
+            implicit_links: implicit_links.len(),
+            duplicates: duplicate_links.len(),
+            pairs_compared,
+            step_timings: timings.clone(),
+        };
+        for (step, elapsed) in &timings {
+            self.metadata.add_timing(StepTiming {
+                source: name.clone(),
+                step: step.clone(),
+                elapsed: *elapsed,
+                output_count: match step.as_str() {
+                    "structure discovery" => structure.relationships.len(),
+                    "link discovery" => explicit_links.len() + implicit_links.len(),
+                    "duplicate detection" => duplicate_links.len(),
+                    _ => 0,
+                },
+            });
+        }
+        self.metadata.put_structure(structure);
+        self.metadata.add_links(explicit_links);
+        self.metadata.add_links(implicit_links);
+        self.metadata.add_duplicates(duplicate_links);
+        self.warehouse.insert(name, db);
+        Ok(report)
+    }
+
+    /// Handle a changed source (Section 6.2's maintenance discussion): if the
+    /// fraction of changed rows is below the configured threshold the update
+    /// is deferred (returns `None`); otherwise the source is dropped and fully
+    /// re-integrated (returns the new report).
+    pub fn refresh_source(
+        &mut self,
+        db: Database,
+        changed_fraction: f64,
+    ) -> AladinResult<Option<IntegrationReport>> {
+        let name = db.name().to_string();
+        if !self.warehouse.contains_key(&name) {
+            return Err(AladinError::UnknownSource(name));
+        }
+        if changed_fraction < self.config.refresh_change_threshold {
+            return Ok(None);
+        }
+        self.warehouse.remove(&name);
+        self.metadata.remove_source(&name);
+        self.add_database(db).map(Some)
+    }
+
+    /// All primary objects of a source as object references.
+    pub fn objects_of(&self, source: &str) -> AladinResult<Vec<ObjectRef>> {
+        let db = self.database(source)?;
+        let structure = self
+            .metadata
+            .structure(source)
+            .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
+        let mut out = Vec::new();
+        for primary in &structure.primary_relations {
+            let table = db.table(&primary.table)?;
+            let idx = table.column_index(&primary.accession_column)?;
+            for row in table.rows() {
+                let v = &row[idx];
+                if !v.is_null() {
+                    out.push(ObjectRef::new(source, primary.table.clone(), v.render()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total number of discovered links (excluding duplicates).
+    pub fn link_count(&self) -> usize {
+        self.metadata.links().len()
+    }
+
+    /// Total number of discovered duplicate links.
+    pub fn duplicate_count(&self) -> usize {
+        self.metadata.duplicates().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_relstore::{ColumnDef, TableSchema, Value};
+
+    fn protkb() -> Database {
+        let mut db = Database::new("protkb");
+        db.create_table(
+            "protkb_entry",
+            TableSchema::of(vec![
+                ColumnDef::int("entry_id"),
+                ColumnDef::text("ac"),
+                ColumnDef::text("de"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "protkb_dr",
+            TableSchema::of(vec![
+                ColumnDef::int("dr_id"),
+                ColumnDef::int("entry_id"),
+                ColumnDef::text("value"),
+            ]),
+        )
+        .unwrap();
+        for (i, desc) in [
+            "serine kinase involved in signalling",
+            "membrane transporter for glucose",
+            "ribosomal assembly factor",
+        ]
+        .iter()
+        .enumerate()
+        {
+            db.insert(
+                "protkb_entry",
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::text(format!("P1000{}", i + 1)),
+                    Value::text(*desc),
+                ],
+            )
+            .unwrap();
+        }
+        for (id, entry, v) in [(1, 1, "STRUCTDB; 1ABC"), (2, 2, "STRUCTDB; 2DEF"), (3, 3, "STRUCTDB; 3GHI")] {
+            db.insert(
+                "protkb_dr",
+                vec![Value::Int(id), Value::Int(entry), Value::text(v)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn structdb() -> Database {
+        let mut db = Database::new("structdb");
+        db.create_table(
+            "structures",
+            TableSchema::of(vec![
+                ColumnDef::text("structure_id"),
+                ColumnDef::text("title"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "chains",
+            TableSchema::of(vec![ColumnDef::int("chain_id"), ColumnDef::text("structure_id")]),
+        )
+        .unwrap();
+        for (acc, title) in [
+            ("1ABC", "structure of a serine kinase"),
+            ("2DEF", "structure of a glucose transporter"),
+            ("3GHI", "structure of a ribosomal factor"),
+        ] {
+            db.insert("structures", vec![Value::text(acc), Value::text(title)]).unwrap();
+        }
+        for (id, acc) in [(1, "1ABC"), (2, "2DEF"), (3, "3GHI")] {
+            db.insert("chains", vec![Value::Int(id), Value::text(acc)]).unwrap();
+        }
+        db
+    }
+
+    fn config() -> AladinConfig {
+        AladinConfig {
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn analyze_database_detects_structure() {
+        let structure = analyze_database(&protkb(), &config()).unwrap();
+        assert_eq!(structure.primary_relations.len(), 1);
+        assert_eq!(structure.primary_relations[0].table, "protkb_entry");
+        assert_eq!(structure.primary_relations[0].accession_column, "ac");
+        assert_eq!(structure.secondary_relations.len(), 1);
+        assert!(!structure.relationships.is_empty());
+        assert!(!structure.column_stats.is_empty());
+    }
+
+    #[test]
+    fn adding_two_sources_discovers_cross_references() {
+        let mut aladin = Aladin::new(config());
+        let r1 = aladin.add_database(protkb()).unwrap();
+        assert_eq!(r1.explicit_links, 0); // nothing to link against yet
+        assert_eq!(r1.primary_relations.len(), 1);
+
+        let r2 = aladin.add_database(structdb()).unwrap();
+        assert!(r2.explicit_links >= 3, "found {}", r2.explicit_links);
+        assert!(aladin.link_count() >= 3);
+        assert_eq!(aladin.source_count(), 2);
+        assert!(r2.total_elapsed() > Duration::ZERO);
+        assert!(!aladin.metadata().timings().is_empty());
+    }
+
+    #[test]
+    fn duplicate_source_names_are_rejected() {
+        let mut aladin = Aladin::new(config());
+        aladin.add_database(protkb()).unwrap();
+        let err = aladin.add_database(protkb()).unwrap_err();
+        assert!(matches!(err, AladinError::DuplicateSource(_)));
+    }
+
+    #[test]
+    fn objects_of_lists_primary_objects() {
+        let mut aladin = Aladin::new(config());
+        aladin.add_database(protkb()).unwrap();
+        let objects = aladin.objects_of("protkb").unwrap();
+        assert_eq!(objects.len(), 3);
+        assert!(objects.iter().any(|o| o.accession == "P10001"));
+        assert!(aladin.objects_of("missing").is_err());
+    }
+
+    #[test]
+    fn refresh_defers_small_changes_and_reintegrates_large_ones() {
+        let mut aladin = Aladin::new(config());
+        aladin.add_database(protkb()).unwrap();
+        aladin.add_database(structdb()).unwrap();
+        let links_before = aladin.link_count();
+
+        // Small change: deferred.
+        let outcome = aladin.refresh_source(protkb(), 0.01).unwrap();
+        assert!(outcome.is_none());
+        assert_eq!(aladin.link_count(), links_before);
+
+        // Large change: re-integrated, links recomputed.
+        let outcome = aladin.refresh_source(protkb(), 0.5).unwrap();
+        assert!(outcome.is_some());
+        assert!(aladin.link_count() >= 3);
+        assert_eq!(aladin.source_count(), 2);
+
+        // Refreshing an unknown source is an error.
+        assert!(aladin.refresh_source(Database::new("nope"), 1.0).is_err());
+    }
+
+    #[test]
+    fn link_plan_controls_which_links_are_computed() {
+        let mut aladin = Aladin::new(config());
+        aladin.set_link_plan(LinkDiscoveryPlan {
+            explicit: false,
+            sequence: false,
+            text: false,
+            shared_terms: false,
+            duplicates: false,
+        });
+        aladin.add_database(protkb()).unwrap();
+        let report = aladin.add_database(structdb()).unwrap();
+        assert_eq!(report.explicit_links, 0);
+        assert_eq!(report.implicit_links, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(aladin.link_count(), 0);
+    }
+
+    #[test]
+    fn source_without_accession_candidate_is_tolerated() {
+        let mut db = Database::new("weird");
+        db.create_table(
+            "numbers",
+            TableSchema::of(vec![ColumnDef::int("a"), ColumnDef::int("b")]),
+        )
+        .unwrap();
+        db.insert("numbers", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let mut aladin = Aladin::new(config());
+        let report = aladin.add_database(db).unwrap();
+        assert!(report.primary_relations.is_empty());
+        assert_eq!(aladin.source_count(), 1);
+    }
+}

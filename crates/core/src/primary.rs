@@ -1,0 +1,173 @@
+//! Selection of the primary relation(s) of a source.
+//!
+//! "We choose as the primary relation the table with highest in-degree of all
+//! tables containing an accession number candidate." (Section 4.2) The
+//! multi-primary extension ("using for instance the difference of the
+//! in-degree of a relation to the average in-degree") is available through
+//! [`crate::config::PrimarySelection::Multiple`].
+
+use crate::config::{AladinConfig, PrimarySelection};
+use crate::error::{AladinError, AladinResult};
+use crate::metadata::{AccessionCandidate, PrimaryRelation};
+use crate::relationships::in_degrees;
+use aladin_schema_match::ind::InclusionDependency;
+
+/// Select the primary relation(s) among the accession-candidate tables.
+///
+/// Returns an error only if the source has no accession candidate at all —
+/// the "worst case" the paper acknowledges, which the pipeline reports as a
+/// discovery failure for that source.
+pub fn select_primary_relations(
+    candidates: &[AccessionCandidate],
+    relationships: &[InclusionDependency],
+    config: &AladinConfig,
+) -> AladinResult<Vec<PrimaryRelation>> {
+    if candidates.is_empty() {
+        return Err(AladinError::Discovery(
+            "no accession-number candidate found in any table".into(),
+        ));
+    }
+    let degrees = in_degrees(relationships);
+    let degree_of = |table: &str| degrees.get(&table.to_ascii_lowercase()).copied().unwrap_or(0);
+
+    let mut scored: Vec<PrimaryRelation> = candidates
+        .iter()
+        .map(|c| PrimaryRelation {
+            table: c.table.clone(),
+            accession_column: c.column.clone(),
+            in_degree: degree_of(&c.table),
+        })
+        .collect();
+    // Highest in-degree first; ties broken by table name for determinism.
+    scored.sort_by(|a, b| b.in_degree.cmp(&a.in_degree).then(a.table.cmp(&b.table)));
+
+    match config.primary_selection {
+        PrimarySelection::Single => Ok(vec![scored.remove(0)]),
+        PrimarySelection::Multiple => {
+            // Average in-degree over *all* tables that appear in the
+            // relationship graph (not just candidates); tables above the
+            // average are primaries, with the top candidate always included.
+            let all_degrees: Vec<usize> = degrees.values().copied().collect();
+            let avg = if all_degrees.is_empty() {
+                0.0
+            } else {
+                all_degrees.iter().sum::<usize>() as f64 / all_degrees.len() as f64
+            };
+            let top = scored[0].clone();
+            let mut selected: Vec<PrimaryRelation> = scored
+                .into_iter()
+                .filter(|p| (p.in_degree as f64) >= avg && p.in_degree > 0)
+                .collect();
+            if selected.is_empty() {
+                selected.push(top);
+            }
+            Ok(selected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_schema_match::ind::Cardinality;
+
+    fn ind(source: &str, target: &str) -> InclusionDependency {
+        InclusionDependency {
+            source_table: source.to_string(),
+            source_column: "x".to_string(),
+            target_table: target.to_string(),
+            target_column: "id".to_string(),
+            cardinality: Cardinality::OneToMany,
+            declared: false,
+        }
+    }
+
+    fn candidate(table: &str, avg: f64) -> AccessionCandidate {
+        AccessionCandidate {
+            table: table.to_string(),
+            column: "accession".to_string(),
+            avg_length: avg,
+        }
+    }
+
+    #[test]
+    fn single_mode_picks_highest_in_degree() {
+        let candidates = vec![candidate("bioentry", 6.0), candidate("ontologyterm", 10.0)];
+        let rels = vec![
+            ind("dbref", "bioentry"),
+            ind("keyword", "bioentry"),
+            ind("seqfeature", "bioentry"),
+            ind("keyword", "ontologyterm"),
+        ];
+        let primaries =
+            select_primary_relations(&candidates, &rels, &AladinConfig::default()).unwrap();
+        assert_eq!(primaries.len(), 1);
+        assert_eq!(primaries[0].table, "bioentry");
+        assert_eq!(primaries[0].in_degree, 3);
+        assert_eq!(primaries[0].accession_column, "accession");
+    }
+
+    #[test]
+    fn no_candidates_is_a_discovery_error() {
+        let err = select_primary_relations(&[], &[], &AladinConfig::default()).unwrap_err();
+        assert!(matches!(err, AladinError::Discovery(_)));
+    }
+
+    #[test]
+    fn isolated_single_table_source_still_gets_a_primary() {
+        let candidates = vec![candidate("taxa", 7.0)];
+        let primaries =
+            select_primary_relations(&candidates, &[], &AladinConfig::default()).unwrap();
+        assert_eq!(primaries.len(), 1);
+        assert_eq!(primaries[0].table, "taxa");
+        assert_eq!(primaries[0].in_degree, 0);
+    }
+
+    #[test]
+    fn multiple_mode_selects_above_average_tables() {
+        let candidates = vec![candidate("gene", 15.0), candidate("clone", 9.0)];
+        let rels = vec![
+            ind("description", "gene"),
+            ind("xref", "gene"),
+            ind("sequence", "gene"),
+            ind("gene_ref", "gene"),
+            ind("gene_ref", "clone"),
+            ind("gene", "genedb_root"),
+            ind("clone", "genedb_root"),
+        ];
+        // in-degrees: gene=4, clone=1, genedb_root=2; average = 7/3 ≈ 2.33
+        let config = AladinConfig::with_multiple_primaries();
+        let primaries = select_primary_relations(&candidates, &rels, &config).unwrap();
+        assert_eq!(primaries.len(), 1);
+        assert_eq!(primaries[0].table, "gene");
+
+        // With an additional annotation table on clone, its in-degree exceeds
+        // the average and it becomes a second primary.
+        let mut rels = rels;
+        rels.push(ind("clone_note", "clone"));
+        rels.push(ind("clone_length", "clone"));
+        let primaries = select_primary_relations(&candidates, &rels, &config).unwrap();
+        assert_eq!(primaries.len(), 2);
+        let tables: Vec<&str> = primaries.iter().map(|p| p.table.as_str()).collect();
+        assert!(tables.contains(&"gene"));
+        assert!(tables.contains(&"clone"));
+    }
+
+    #[test]
+    fn multiple_mode_falls_back_to_top_candidate() {
+        let candidates = vec![candidate("only", 5.0)];
+        let config = AladinConfig::with_multiple_primaries();
+        let primaries = select_primary_relations(&candidates, &[], &config).unwrap();
+        assert_eq!(primaries.len(), 1);
+        assert_eq!(primaries[0].table, "only");
+    }
+
+    #[test]
+    fn single_mode_ties_break_deterministically() {
+        let candidates = vec![candidate("beta", 5.0), candidate("alpha", 5.0)];
+        let rels = vec![ind("x", "alpha"), ind("y", "beta")];
+        let primaries =
+            select_primary_relations(&candidates, &rels, &AladinConfig::default()).unwrap();
+        assert_eq!(primaries[0].table, "alpha");
+    }
+}

@@ -1,0 +1,203 @@
+//! Discovery of relationships (foreign keys) within a source.
+//!
+//! "Existing foreign key constraints are found using the data dictionary.
+//! Then, all unique attributes are considered as potential targets for such a
+//! relationship and all attributes are considered as potential sources."
+//! (Section 4.2) Declared constraints are trusted; everything else is guessed
+//! by inclusion-dependency mining.
+
+use crate::config::AladinConfig;
+use crate::error::AladinResult;
+use crate::metadata::UniqueColumn;
+use aladin_relstore::Database;
+use aladin_schema_match::ind::{
+    mine_inclusion_dependencies, Cardinality, InclusionDependency, UniqueAttribute,
+};
+
+/// Discover relationships of a source: declared foreign keys plus mined
+/// inclusion dependencies into unique attributes.
+///
+/// Mined dependencies that duplicate a declared constraint are suppressed.
+/// Purely "reflexive" pairs (same table) are kept only when the columns
+/// differ and the dependency is declared — self-referencing guesses are noise
+/// in practice.
+pub fn discover_relationships(
+    db: &Database,
+    unique_columns: &[UniqueColumn],
+    _config: &AladinConfig,
+) -> AladinResult<Vec<InclusionDependency>> {
+    let mut result: Vec<InclusionDependency> = Vec::new();
+
+    // 1. Declared foreign keys from the data dictionary.
+    for fk in db.foreign_keys() {
+        result.push(InclusionDependency {
+            source_table: fk.table.clone(),
+            source_column: fk.column.clone(),
+            target_table: fk.ref_table.clone(),
+            target_column: fk.ref_column.clone(),
+            cardinality: Cardinality::OneToMany,
+            declared: true,
+        });
+    }
+
+    // 2. Mined inclusion dependencies.
+    let targets: Vec<UniqueAttribute> = unique_columns
+        .iter()
+        .map(|u| UniqueAttribute {
+            table: u.table.clone(),
+            column: u.column.clone(),
+        })
+        .collect();
+    let mined = mine_inclusion_dependencies(db, &targets)?;
+    for ind in mined {
+        if ind.source_table.eq_ignore_ascii_case(&ind.target_table) {
+            continue; // self-referencing guesses are overwhelmingly spurious
+        }
+        let duplicate_of_declared = result.iter().any(|d| {
+            d.declared
+                && d.source_table.eq_ignore_ascii_case(&ind.source_table)
+                && d.source_column.eq_ignore_ascii_case(&ind.source_column)
+                && d.target_table.eq_ignore_ascii_case(&ind.target_table)
+                && d.target_column.eq_ignore_ascii_case(&ind.target_column)
+        });
+        if !duplicate_of_declared {
+            result.push(ind);
+        }
+    }
+    Ok(result)
+}
+
+/// The in-degree of every table under a set of relationships: the number of
+/// *distinct referencing tables* pointing at it. This is the quantity the
+/// primary-relation heuristic maximizes ("many tables necessarily point to the
+/// primary relation").
+pub fn in_degrees(relationships: &[InclusionDependency]) -> std::collections::BTreeMap<String, usize> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut referencing: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for r in relationships {
+        referencing
+            .entry(r.target_table.to_ascii_lowercase())
+            .or_default()
+            .insert(r.source_table.to_ascii_lowercase());
+    }
+    referencing
+        .into_iter()
+        .map(|(table, sources)| (table, sources.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unique::detect_unique_columns;
+    use aladin_relstore::{ColumnDef, Constraint, ForeignKey, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("biosql");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dbref",
+            TableSchema::of(vec![
+                ColumnDef::int("dbref_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("target"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "keyword",
+            TableSchema::of(vec![
+                ColumnDef::int("keyword_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("term"),
+            ]),
+        )
+        .unwrap();
+        for i in 1..=4i64 {
+            db.insert(
+                "bioentry",
+                vec![Value::Int(i), Value::text(format!("P1000{i}"))],
+            )
+            .unwrap();
+        }
+        for (id, be, t) in [(1, 1, "PDB:1ABC"), (2, 2, "PDB:2DEF"), (3, 2, "GO:0001")] {
+            db.insert("dbref", vec![Value::Int(id), Value::Int(be), Value::text(t)])
+                .unwrap();
+        }
+        for (id, be, t) in [(1, 1, "Kinase"), (2, 3, "Transport")] {
+            db.insert(
+                "keyword",
+                vec![Value::Int(id), Value::Int(be), Value::text(t)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn mined_relationships_point_at_the_entry_table() {
+        let db = db();
+        let uniques = detect_unique_columns(&db).unwrap();
+        let rels = discover_relationships(&db, &uniques, &AladinConfig::default()).unwrap();
+        assert!(rels.iter().any(|r| r.source_table == "dbref"
+            && r.source_column == "bioentry_id"
+            && r.target_table == "bioentry"
+            && !r.declared));
+        assert!(rels.iter().any(|r| r.source_table == "keyword"
+            && r.target_table == "bioentry"));
+        // Nothing self-referencing.
+        assert!(rels
+            .iter()
+            .all(|r| !r.source_table.eq_ignore_ascii_case(&r.target_table)));
+    }
+
+    #[test]
+    fn declared_foreign_keys_take_precedence() {
+        let mut db = db();
+        db.add_constraint(Constraint::ForeignKey(ForeignKey::new(
+            "dbref",
+            "bioentry_id",
+            "bioentry",
+            "bioentry_id",
+        )))
+        .unwrap();
+        let uniques = detect_unique_columns(&db).unwrap();
+        let rels = discover_relationships(&db, &uniques, &AladinConfig::default()).unwrap();
+        let matching: Vec<&InclusionDependency> = rels
+            .iter()
+            .filter(|r| {
+                r.source_table == "dbref"
+                    && r.source_column == "bioentry_id"
+                    && r.target_table == "bioentry"
+                    && r.target_column == "bioentry_id"
+            })
+            .collect();
+        assert_eq!(matching.len(), 1);
+        assert!(matching[0].declared);
+    }
+
+    #[test]
+    fn in_degree_counts_distinct_referencing_tables() {
+        let db = db();
+        let uniques = detect_unique_columns(&db).unwrap();
+        let rels = discover_relationships(&db, &uniques, &AladinConfig::default()).unwrap();
+        let degrees = in_degrees(&rels);
+        // Both dbref and keyword point at bioentry.
+        assert_eq!(degrees.get("bioentry"), Some(&2));
+        // Even if dbref has several columns included in bioentry's uniques,
+        // it counts once.
+        assert!(degrees.get("dbref").copied().unwrap_or(0) <= 2);
+    }
+
+    #[test]
+    fn empty_relationship_set_has_no_degrees() {
+        assert!(in_degrees(&[]).is_empty());
+    }
+}

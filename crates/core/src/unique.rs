@@ -1,0 +1,112 @@
+//! Detection of unique attributes.
+//!
+//! "As the first step, the algorithm detects 'unique' attributes by issuing a
+//! SQL query for each attribute in the schema that has no known UNIQUE
+//! constraint. Attributes that are unique are marked as such." (Section 4.2)
+
+use crate::error::AladinResult;
+use crate::metadata::UniqueColumn;
+use aladin_relstore::Database;
+
+/// Detect unique attributes across all tables of a source.
+///
+/// Declared UNIQUE / PRIMARY KEY constraints are taken from the data
+/// dictionary without scanning; every other column is scanned. Columns with no
+/// non-null values are never reported.
+pub fn detect_unique_columns(db: &Database) -> AladinResult<Vec<UniqueColumn>> {
+    let mut out = Vec::new();
+    for table in db.tables() {
+        for column in table.schema().columns() {
+            if db.is_declared_unique(table.name(), &column.name) {
+                out.push(UniqueColumn {
+                    table: table.name().to_string(),
+                    column: column.name.clone(),
+                    declared: true,
+                });
+            } else if table.column_is_unique(&column.name)? {
+                out.push(UniqueColumn {
+                    table: table.name().to_string(),
+                    column: column.name.clone(),
+                    declared: false,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_relstore::{ColumnDef, Constraint, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("src");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+                ColumnDef::text("name"),
+                ColumnDef::int("taxon_id"),
+            ]),
+        )
+        .unwrap();
+        for (id, acc, name, taxon) in [
+            (1, "P10000", "kinase A", 9606),
+            (2, "P10001", "kinase B", 9606),
+            (3, "P10002", "kinase A", 10090),
+        ] {
+            db.insert(
+                "bioentry",
+                vec![
+                    Value::Int(id),
+                    Value::text(acc),
+                    Value::text(name),
+                    Value::Int(taxon),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn detects_scanned_unique_columns() {
+        let uniques = detect_unique_columns(&db()).unwrap();
+        let names: Vec<(&str, &str, bool)> = uniques
+            .iter()
+            .map(|u| (u.table.as_str(), u.column.as_str(), u.declared))
+            .collect();
+        assert!(names.contains(&("bioentry", "bioentry_id", false)));
+        assert!(names.contains(&("bioentry", "accession", false)));
+        // name repeats, taxon_id repeats
+        assert!(!names.iter().any(|(_, c, _)| *c == "name"));
+        assert!(!names.iter().any(|(_, c, _)| *c == "taxon_id"));
+    }
+
+    #[test]
+    fn declared_constraints_are_trusted() {
+        let mut db = db();
+        // Declare 'name' unique even though the data violates it: declared
+        // constraints are trusted, not re-checked here (consistency checking
+        // is a separate concern).
+        db.add_constraint(Constraint::Unique {
+            table: "bioentry".into(),
+            column: "name".into(),
+        })
+        .unwrap();
+        let uniques = detect_unique_columns(&db).unwrap();
+        assert!(uniques
+            .iter()
+            .any(|u| u.column == "name" && u.declared));
+    }
+
+    #[test]
+    fn empty_tables_produce_no_unique_columns() {
+        let mut db = Database::new("src");
+        db.create_table("empty", TableSchema::of(vec![ColumnDef::text("a")]))
+            .unwrap();
+        assert!(detect_unique_columns(&db).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # aladin-datagen
+//!
+//! Synthetic life-science data sources with recorded ground truth.
+//!
+//! The ALADIN paper evaluates its heuristics against real public databases
+//! (Swiss-Prot, PDB, EnsEmbl, GO, BIND, the NCBI taxonomy, PIR, ...). Those
+//! dumps are licence-gated, multi-gigabyte and unavailable offline, so this
+//! crate builds the closest synthetic equivalent: a configurable *world* of
+//! real-world biological objects (proteins, genes, structures, ontology terms,
+//! taxa, interactions) rendered into **seven data sources in four different
+//! serialization formats**, with exactly the structural characteristics the
+//! paper's heuristics rely on:
+//!
+//! * each source is centred on one primary object class with a public,
+//!   alphanumeric accession number;
+//! * primary objects carry nested, partly multi-valued annotation;
+//! * sources cross-reference each other via `(database, accession)` pairs —
+//!   with a configurable fraction of references missing (the "annotation
+//!   backlog" of the case study);
+//! * sources overlap in the objects they describe (duplicates), with noisy
+//!   descriptions and mutated sequences;
+//! * sequence fields contain DNA or protein strings whose homology mirrors a
+//!   family structure.
+//!
+//! Unlike the real databases, the generator can emit the complete
+//! [`truth::GroundTruth`]: the true primary relation of every source, every
+//! true object-level link (flagged by whether an explicit cross-reference was
+//! emitted or whether the link is only discoverable implicitly), every
+//! duplicate pair and every homologous pair. This is what makes the
+//! precision/recall evaluation the paper *proposes* (Sections 3 and 5)
+//! actually computable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod ids;
+pub mod sequences;
+pub mod sources;
+pub mod truth;
+pub mod vocab;
+pub mod world;
+
+pub use corpus::{Corpus, CorpusConfig, SourceDump};
+pub use truth::{DuplicatePair, GroundTruth, ObjectLink, SourceTruth};
+pub use world::World;

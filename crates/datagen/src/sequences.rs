@@ -1,0 +1,136 @@
+//! Random biological sequences with controlled homology.
+
+use aladin_seq::alphabet::Alphabet;
+use rand::Rng;
+
+const DNA: &[u8] = b"ACGT";
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Generate a random sequence of the given length over an alphabet.
+pub fn random_sequence<R: Rng>(rng: &mut R, alphabet: Alphabet, length: usize) -> String {
+    let chars: &[u8] = match alphabet {
+        Alphabet::Dna | Alphabet::Rna => DNA,
+        Alphabet::Protein => AMINO,
+    };
+    let mut s: String = (0..length)
+        .map(|_| chars[rng.gen_range(0..chars.len())] as char)
+        .collect();
+    if alphabet == Alphabet::Rna {
+        s = s.replace('T', "U");
+    }
+    s
+}
+
+/// Mutate a sequence: each position is substituted with probability
+/// `substitution_rate`; additionally with probability `indel_rate` per
+/// position a single-character insertion or deletion is applied. Mutating with
+/// rate 0 returns the input unchanged.
+pub fn mutate_sequence<R: Rng>(
+    rng: &mut R,
+    sequence: &str,
+    substitution_rate: f64,
+    indel_rate: f64,
+) -> String {
+    let alphabet = Alphabet::detect(sequence).unwrap_or(Alphabet::Protein);
+    let chars: &[u8] = match alphabet {
+        Alphabet::Dna | Alphabet::Rna => DNA,
+        Alphabet::Protein => AMINO,
+    };
+    let mut out = String::with_capacity(sequence.len() + 8);
+    for c in sequence.chars() {
+        if rng.gen_bool(indel_rate.clamp(0.0, 1.0)) {
+            if rng.gen_bool(0.5) {
+                // insertion before this position
+                out.push(chars[rng.gen_range(0..chars.len())] as char);
+                out.push(c);
+            }
+            // else: deletion — skip the character
+            continue;
+        }
+        if rng.gen_bool(substitution_rate.clamp(0.0, 1.0)) {
+            out.push(chars[rng.gen_range(0..chars.len())] as char);
+        } else {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        out.push(chars[rng.gen_range(0..chars.len())] as char);
+    }
+    if alphabet == Alphabet::Rna {
+        out = out.replace('T', "U");
+    }
+    out
+}
+
+/// "Reverse-translate" a protein sequence into a plausible coding DNA
+/// sequence: each residue is mapped deterministically to a codon. The mapping
+/// is arbitrary but fixed, so that identical proteins yield identical genes —
+/// which preserves the homology structure across the protein and gene sources.
+pub fn reverse_translate(protein: &str) -> String {
+    let mut dna = String::with_capacity(protein.len() * 3);
+    for c in protein.chars() {
+        let i = (c as u32) as usize;
+        let c1 = DNA[i % 4] as char;
+        let c2 = DNA[(i / 4) % 4] as char;
+        let c3 = DNA[(i / 16) % 4] as char;
+        dna.push(c1);
+        dna.push(c2);
+        dna.push(c3);
+    }
+    dna
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_sequences_validate_against_their_alphabet() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dna = random_sequence(&mut rng, Alphabet::Dna, 120);
+        assert_eq!(dna.len(), 120);
+        assert!(Alphabet::Dna.validates(&dna));
+        let rna = random_sequence(&mut rng, Alphabet::Rna, 60);
+        assert!(Alphabet::Rna.validates(&rna));
+        assert!(!rna.contains('T'));
+        let prot = random_sequence(&mut rng, Alphabet::Protein, 80);
+        assert!(Alphabet::Protein.validates(&prot));
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let seq = random_sequence(&mut rng, Alphabet::Protein, 50);
+        assert_eq!(mutate_sequence(&mut rng, &seq, 0.0, 0.0), seq);
+    }
+
+    #[test]
+    fn mutation_changes_sequence_but_preserves_alphabet() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let seq = random_sequence(&mut rng, Alphabet::Dna, 200);
+        let mutated = mutate_sequence(&mut rng, &seq, 0.1, 0.02);
+        assert_ne!(mutated, seq);
+        assert!(Alphabet::Dna.validates(&mutated));
+        // Lengths stay in the same ballpark.
+        assert!((mutated.len() as i64 - seq.len() as i64).abs() < 40);
+    }
+
+    #[test]
+    fn heavy_mutation_still_produces_nonempty_output() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = mutate_sequence(&mut rng, "ACGT", 1.0, 1.0);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn reverse_translation_is_deterministic_and_three_to_one() {
+        let dna1 = reverse_translate("MKTAY");
+        let dna2 = reverse_translate("MKTAY");
+        assert_eq!(dna1, dna2);
+        assert_eq!(dna1.len(), 15);
+        assert!(Alphabet::Dna.validates(&dna1));
+        assert_ne!(reverse_translate("MKTAY"), reverse_translate("MKTAV"));
+    }
+}

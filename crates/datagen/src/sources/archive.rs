@@ -1,0 +1,185 @@
+//! The protein archive: a PIR-like second protein database overlapping with
+//! the protein knowledgebase.
+//!
+//! "Largely the same proteins used to be stored in Swiss-Prot and PIR" — the
+//! archive holds a configurable fraction of the world's proteins under its own
+//! accessions, with reworded descriptions and slightly mutated sequences, and
+//! (mostly) *without* explicit cross-references to the knowledgebase. Its
+//! overlap is what duplicate detection must find.
+
+use super::{csv_escape, EmittedXref};
+use crate::corpus::{CorpusConfig, SourceDump};
+use crate::sequences::mutate_sequence;
+use crate::vocab::reword_description;
+use crate::world::World;
+use aladin_import::SourceFormat;
+use rand::Rng;
+
+/// Source name.
+pub const NAME: &str = "archive";
+
+/// Fraction of archive entries that carry an explicit reference to the
+/// protein knowledgebase (most do not; duplicates must be found by
+/// similarity).
+const EXPLICIT_REF_FRACTION: f64 = 0.1;
+
+/// Render the protein archive.
+pub fn render<R: Rng>(
+    world: &World,
+    config: &CorpusConfig,
+    rng: &mut R,
+) -> (SourceDump, Vec<EmittedXref>) {
+    let mut xrefs = Vec::new();
+    let mut proteins =
+        String::from("archive_id,protein_name,organism,sequence,function_note,uniprot_ref\n");
+    let mut features = String::from("feature_id,archive_id,feature_type,note\n");
+    let mut feature_counter = 0i64;
+
+    for protein in world.archived_proteins() {
+        let a_acc = protein.archive_accession.as_ref().expect("archived");
+        let taxon = &world.taxa[protein.taxon];
+        let noisy_description =
+            reword_description(rng, &protein.description, config.description_noise);
+        let noisy_sequence = mutate_sequence(
+            rng,
+            &protein.protein_sequence,
+            config.mutation_rate,
+            config.mutation_rate / 4.0,
+        );
+        let uniprot_ref = if rng.gen_bool(EXPLICIT_REF_FRACTION) {
+            let p_acc = protein.protkb_accession.clone().unwrap_or_default();
+            if !p_acc.is_empty() {
+                xrefs.push(EmittedXref::new(NAME, a_acc, super::protein_kb::NAME, &p_acc));
+            }
+            p_acc
+        } else {
+            String::new()
+        };
+        proteins.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            a_acc,
+            csv_escape(&format!("{} ({})", protein.name, protein.symbol)),
+            csv_escape(&taxon.scientific_name),
+            noisy_sequence,
+            csv_escape(&noisy_description),
+            uniprot_ref
+        ));
+        for kw in protein.keywords.iter().take(2) {
+            feature_counter += 1;
+            features.push_str(&format!(
+                "{},{},keyword,{}\n",
+                feature_counter,
+                a_acc,
+                csv_escape(kw)
+            ));
+        }
+    }
+
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Tabular,
+        files: vec![
+            ("archive_proteins.csv".to_string(), proteins),
+            ("archive_features.csv".to_string(), features),
+        ],
+    };
+    (dump, xrefs)
+}
+
+/// Primary table after import.
+pub fn primary_table() -> String {
+    "archive_proteins".to_string()
+}
+
+/// Accession column of the primary table.
+pub fn accession_column() -> String {
+    "archive_id".to_string()
+}
+
+/// Secondary tables after import.
+pub fn secondary_tables() -> Vec<String> {
+    vec!["archive_features".to_string()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (World, CorpusConfig) {
+        let mut config = CorpusConfig::small(71);
+        config.archive_overlap = 0.6;
+        (World::generate(&config), config)
+    }
+
+    #[test]
+    fn renders_only_archived_proteins() {
+        let (world, config) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (dump, _) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        assert_eq!(
+            db.table("archive_proteins").unwrap().row_count(),
+            world.archived_proteins().count()
+        );
+        assert!(db.table("archive_features").unwrap().row_count() > 0);
+    }
+
+    #[test]
+    fn sequences_are_similar_but_not_identical_with_noise() {
+        let (world, mut config) = setup();
+        config.mutation_rate = 0.05;
+        config.description_noise = 1.0;
+        let mut rng = StdRng::seed_from_u64(12);
+        let (dump, _) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        let t = db.table("archive_proteins").unwrap();
+        let seq_idx = t.column_index("sequence").unwrap();
+        let id_idx = t.column_index("archive_id").unwrap();
+        let mut identical = 0;
+        for row in t.rows() {
+            let acc = row[id_idx].render();
+            let world_protein = world
+                .proteins
+                .iter()
+                .find(|p| p.archive_accession.as_deref() == Some(acc.as_str()))
+                .unwrap();
+            if row[seq_idx].render() == world_protein.protein_sequence {
+                identical += 1;
+            }
+        }
+        assert!(identical < t.row_count());
+    }
+
+    #[test]
+    fn zero_noise_keeps_sequences_identical() {
+        let (world, mut config) = setup();
+        config.mutation_rate = 0.0;
+        config.description_noise = 0.0;
+        let mut rng = StdRng::seed_from_u64(13);
+        let (dump, _) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        let t = db.table("archive_proteins").unwrap();
+        let seq_idx = t.column_index("sequence").unwrap();
+        let id_idx = t.column_index("archive_id").unwrap();
+        for row in t.rows() {
+            let acc = row[id_idx].render();
+            let world_protein = world
+                .proteins
+                .iter()
+                .find(|p| p.archive_accession.as_deref() == Some(acc.as_str()))
+                .unwrap();
+            assert_eq!(row[seq_idx].render(), world_protein.protein_sequence);
+        }
+    }
+
+    #[test]
+    fn only_a_small_fraction_has_explicit_references() {
+        let (world, config) = setup();
+        let mut rng = StdRng::seed_from_u64(14);
+        let (_, xrefs) = render(&world, &config, &mut rng);
+        let archived = world.archived_proteins().count();
+        assert!(xrefs.len() < archived / 2, "{} xrefs for {archived} entries", xrefs.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! The gene database: an EnsEmbl-like XML source.
+//!
+//! With `two_primary_gene_db` enabled the source additionally carries `clone`
+//! elements that group genes — the EnsEmbl scenario the paper uses to discuss
+//! data sources with *more than one* primary relation.
+
+use super::{xml_escape, EmittedXref};
+use crate::corpus::{CorpusConfig, SourceDump};
+use crate::ids;
+use crate::world::World;
+use aladin_import::SourceFormat;
+use rand::Rng;
+
+/// Source name.
+pub const NAME: &str = "genedb";
+
+/// Render the gene database.
+pub fn render<R: Rng>(
+    world: &World,
+    config: &CorpusConfig,
+    rng: &mut R,
+) -> (SourceDump, Vec<EmittedXref>) {
+    let mut xrefs = Vec::new();
+    let drop_rate = config.missing_xref_rate.clamp(0.0, 1.0);
+    let mut xml = String::from("<?xml version=\"1.0\"?>\n<genedb release=\"42\">\n");
+
+    let genes: Vec<&crate::world::Protein> = world.gene_proteins().collect();
+    for protein in &genes {
+        let g_acc = protein.gene_accession.as_ref().expect("gene protein");
+        let taxon = &world.taxa[protein.taxon];
+        xml.push_str(&format!(
+            "  <gene id=\"{}\" symbol=\"{}\" chromosome=\"{}\" organism=\"{}\">\n",
+            xml_escape(g_acc),
+            xml_escape(&protein.symbol),
+            1 + protein.idx % 22,
+            xml_escape(&taxon.scientific_name),
+        ));
+        xml.push_str(&format!(
+            "    <description>{}</description>\n",
+            xml_escape(&format!("gene encoding {}", protein.description))
+        ));
+        if let Some(p_acc) = &protein.protkb_accession {
+            if !rng.gen_bool(drop_rate) {
+                xml.push_str(&format!(
+                    "    <xref db=\"PROTKB\" accession=\"{}\"/>\n",
+                    xml_escape(p_acc)
+                ));
+                xrefs.push(EmittedXref::new(NAME, g_acc, super::protein_kb::NAME, p_acc));
+            }
+        }
+        for &term in protein.terms.iter().take(1) {
+            let t_acc = &world.terms[term].accession;
+            if !rng.gen_bool(drop_rate) {
+                // Composite "db:accession" string, as discussed in Section 4.4.
+                xml.push_str(&format!(
+                    "    <xref db=\"ONTODB\" accession=\"{}\"/>\n",
+                    xml_escape(&ids::composite_xref("ontodb", t_acc))
+                ));
+                xrefs.push(EmittedXref::new(NAME, g_acc, super::ontology_src::NAME, t_acc));
+            }
+        }
+        xml.push_str(&format!(
+            "    <sequence>{}</sequence>\n",
+            xml_escape(&protein.dna_sequence)
+        ));
+        xml.push_str("  </gene>\n");
+    }
+
+    if config.two_primary_gene_db {
+        // Clones group consecutive genes; they are a second class of publicly
+        // identified objects inside the same source.
+        let per_clone = 4usize;
+        for (clone_idx, chunk) in genes.chunks(per_clone).enumerate() {
+            let c_acc = ids::clone_accession(clone_idx);
+            xml.push_str(&format!(
+                "  <clone id=\"{}\" length=\"{}\">\n",
+                xml_escape(&c_acc),
+                40_000 + clone_idx * 1_000
+            ));
+            for protein in chunk {
+                let g_acc = protein.gene_accession.as_ref().expect("gene protein");
+                xml.push_str(&format!(
+                    "    <gene_ref gene=\"{}\"/>\n",
+                    xml_escape(g_acc)
+                ));
+            }
+            xml.push_str("  </clone>\n");
+        }
+    }
+
+    xml.push_str("</genedb>\n");
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Xml,
+        files: vec![("genes.xml".to_string(), xml)],
+    };
+    (dump, xrefs)
+}
+
+/// Primary table(s) after import.
+pub fn primary_tables(config: &CorpusConfig) -> Vec<String> {
+    if config.two_primary_gene_db {
+        vec!["genes_gene".to_string(), "genes_clone".to_string()]
+    } else {
+        vec!["genes_gene".to_string()]
+    }
+}
+
+/// Accession column(s) of the primary table(s), parallel to
+/// [`primary_tables`].
+pub fn accession_columns(config: &CorpusConfig) -> Vec<String> {
+    if config.two_primary_gene_db {
+        vec!["id".to_string(), "id".to_string()]
+    } else {
+        vec!["id".to_string()]
+    }
+}
+
+/// Secondary tables after import.
+pub fn secondary_tables(config: &CorpusConfig) -> Vec<String> {
+    let mut t = vec![
+        "genes_genedb".to_string(),
+        "genes_description".to_string(),
+        "genes_xref".to_string(),
+        "genes_sequence".to_string(),
+    ];
+    if config.two_primary_gene_db {
+        t.push("genes_gene_ref".to_string());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(two_primary: bool) -> (World, CorpusConfig) {
+        let mut config = CorpusConfig::small(31);
+        config.gene_fraction = 1.0;
+        config.missing_xref_rate = 0.0;
+        config.two_primary_gene_db = two_primary;
+        (World::generate(&config), config)
+    }
+
+    #[test]
+    fn renders_and_imports_genes() {
+        let (world, config) = setup(false);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (dump, xrefs) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        let genes = db.table("genes_gene").unwrap();
+        assert_eq!(genes.row_count(), world.gene_proteins().count());
+        assert!(genes.schema().index_of("id").is_some());
+        // one protkb xref and one ontodb xref per gene
+        assert_eq!(xrefs.len(), 2 * genes.row_count());
+        assert!(db.table("genes_xref").unwrap().row_count() >= genes.row_count());
+        assert!(db.table("genes_clone").is_err());
+    }
+
+    #[test]
+    fn two_primary_configuration_adds_clones() {
+        let (world, config) = setup(true);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (dump, _) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        assert!(db.table("genes_clone").unwrap().row_count() > 0);
+        assert!(db.table("genes_gene_ref").unwrap().row_count() > 0);
+        assert_eq!(primary_tables(&config).len(), 2);
+        assert_eq!(accession_columns(&config).len(), 2);
+        assert!(secondary_tables(&config).contains(&"genes_gene_ref".to_string()));
+    }
+
+    #[test]
+    fn composite_ontology_xrefs_use_db_colon_accession_form() {
+        let (world, config) = setup(false);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (dump, _) = render(&world, &config, &mut rng);
+        assert!(dump.files[0].1.contains("accession=\"ontodb:GO:"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The interaction database: a BIND-like XML source of binary protein-protein
+//! interactions whose participants reference the protein knowledgebase.
+
+use super::{xml_escape, EmittedXref};
+use crate::corpus::SourceDump;
+use crate::world::World;
+use aladin_import::SourceFormat;
+
+/// Source name.
+pub const NAME: &str = "interactdb";
+
+/// Render the interaction database. Participant references are part of the
+/// data itself, so they are always emitted (no backlog).
+pub fn render(world: &World) -> (SourceDump, Vec<EmittedXref>) {
+    let mut xrefs = Vec::new();
+    let mut xml = String::from("<?xml version=\"1.0\"?>\n<interactions curated=\"true\">\n");
+    for i in &world.interactions {
+        xml.push_str(&format!(
+            "  <interaction id=\"{}\" method=\"{}\" confidence=\"{}\">\n",
+            xml_escape(&i.accession),
+            xml_escape(&i.method),
+            i.confidence
+        ));
+        for (role, protein_idx) in [("bait", i.protein_a), ("prey", i.protein_b)] {
+            if let Some(p_acc) = &world.proteins[protein_idx].protkb_accession {
+                xml.push_str(&format!(
+                    "    <participant accession=\"{}\" role=\"{role}\"/>\n",
+                    xml_escape(p_acc)
+                ));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    &i.accession,
+                    super::protein_kb::NAME,
+                    p_acc,
+                ));
+            }
+        }
+        xml.push_str("  </interaction>\n");
+    }
+    xml.push_str("</interactions>\n");
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Xml,
+        files: vec![("interactions.xml".to_string(), xml)],
+    };
+    (dump, xrefs)
+}
+
+/// Primary table after import.
+pub fn primary_table() -> String {
+    "interactions_interaction".to_string()
+}
+
+/// Accession column of the primary table.
+pub fn accession_column() -> String {
+    "id".to_string()
+}
+
+/// Secondary tables after import.
+pub fn secondary_tables() -> Vec<String> {
+    vec![
+        "interactions_interactions".to_string(),
+        "interactions_participant".to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn renders_and_imports_interactions() {
+        let config = CorpusConfig::small(51);
+        let world = World::generate(&config);
+        let (dump, xrefs) = render(&world);
+        let db = dump.import().unwrap();
+        let interactions = db.table(&primary_table()).unwrap();
+        assert_eq!(interactions.row_count(), world.interactions.len());
+        let participants = db.table("interactions_participant").unwrap();
+        assert_eq!(participants.row_count(), 2 * world.interactions.len());
+        assert_eq!(xrefs.len(), 2 * world.interactions.len());
+    }
+
+    #[test]
+    fn participants_reference_protkb_accessions() {
+        let config = CorpusConfig::small(52);
+        let world = World::generate(&config);
+        let (dump, _) = render(&world);
+        let db = dump.import().unwrap();
+        let participants = db.table("interactions_participant").unwrap();
+        let idx = participants.column_index("accession").unwrap();
+        for row in participants.rows() {
+            let acc = row[idx].render();
+            assert!(world
+                .proteins
+                .iter()
+                .any(|p| p.protkb_accession.as_deref() == Some(acc.as_str())));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The ontology source: a GO-like controlled vocabulary as tabular files.
+
+use super::{csv_escape, EmittedXref};
+use crate::corpus::SourceDump;
+use crate::world::World;
+use aladin_import::SourceFormat;
+
+/// Source name.
+pub const NAME: &str = "ontodb";
+
+/// Render the ontology source (no outgoing cross-references).
+pub fn render(world: &World) -> (SourceDump, Vec<EmittedXref>) {
+    let mut terms = String::from("term_id,name,namespace,definition\n");
+    let mut parents = String::from("relation_id,term_id,parent_id\n");
+    let mut rel_counter = 0i64;
+    for t in &world.terms {
+        terms.push_str(&format!(
+            "{},{},{},{}\n",
+            t.accession,
+            csv_escape(&t.name),
+            t.namespace,
+            csv_escape(&t.definition)
+        ));
+        if let Some(parent) = t.parent {
+            rel_counter += 1;
+            parents.push_str(&format!(
+                "{},{},{}\n",
+                rel_counter, t.accession, world.terms[parent].accession
+            ));
+        }
+    }
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Tabular,
+        files: vec![
+            ("terms.csv".to_string(), terms),
+            ("term_parents.csv".to_string(), parents),
+        ],
+    };
+    (dump, Vec::new())
+}
+
+/// Primary table after import.
+pub fn primary_table() -> String {
+    "terms".to_string()
+}
+
+/// Accession column of the primary table.
+pub fn accession_column() -> String {
+    "term_id".to_string()
+}
+
+/// Secondary tables after import.
+pub fn secondary_tables() -> Vec<String> {
+    vec!["term_parents".to_string()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn renders_and_imports_terms() {
+        let config = CorpusConfig::small(41);
+        let world = World::generate(&config);
+        let (dump, xrefs) = render(&world);
+        assert!(xrefs.is_empty());
+        let db = dump.import().unwrap();
+        assert_eq!(db.table("terms").unwrap().row_count(), world.terms.len());
+        let parents = db.table("term_parents").unwrap();
+        assert!(parents.row_count() > 0);
+        assert!(parents.row_count() < world.terms.len());
+    }
+
+    #[test]
+    fn parent_references_are_valid_term_ids() {
+        let config = CorpusConfig::small(42);
+        let world = World::generate(&config);
+        let (dump, _) = render(&world);
+        let db = dump.import().unwrap();
+        let terms = db.table("terms").unwrap();
+        let ids = terms.distinct_values("term_id").unwrap();
+        let parents = db.table("term_parents").unwrap();
+        let idx = parents.column_index("parent_id").unwrap();
+        for row in parents.rows() {
+            assert!(ids.contains(&row[idx]));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The structure database: a PDB-like tabular source (plus optional "flavour"
+//! variants for the three-representations duplicate scenario of the case
+//! study).
+
+use super::{csv_escape, EmittedXref};
+use crate::corpus::{CorpusConfig, SourceDump};
+use crate::world::World;
+use aladin_import::SourceFormat;
+use rand::Rng;
+
+/// Source name.
+pub const NAME: &str = "structdb";
+
+/// Render the structure database.
+///
+/// Files: `structures.csv` (primary), `chains.csv` (1:N annotation),
+/// `dbxrefs.csv` (cross-references back to the protein knowledgebase).
+pub fn render<R: Rng>(
+    world: &World,
+    config: &CorpusConfig,
+    rng: &mut R,
+) -> (SourceDump, Vec<EmittedXref>) {
+    let mut xrefs = Vec::new();
+    let drop_rate = config.missing_xref_rate.clamp(0.0, 1.0);
+
+    let mut structures = String::from("structure_id,title,resolution,method,deposition_year\n");
+    let mut chains = String::from("chain_id,structure_id,chain_letter,residue_count\n");
+    let mut dbxrefs = String::from("dbxref_id,structure_id,db_name,db_accession\n");
+
+    let mut chain_counter = 0i64;
+    let mut xref_counter = 0i64;
+    for s in &world.structures {
+        structures.push_str(&format!(
+            "{},{},{},{},{}\n",
+            s.accession,
+            csv_escape(&s.title),
+            s.resolution,
+            csv_escape(&s.method),
+            s.year
+        ));
+        for (i, chain) in s.chains.iter().enumerate() {
+            chain_counter += 1;
+            chains.push_str(&format!(
+                "{},{},{},{}\n",
+                chain_counter,
+                s.accession,
+                chain,
+                world.proteins[s.protein].protein_sequence.len() + i
+            ));
+        }
+        if let Some(p_acc) = &world.proteins[s.protein].protkb_accession {
+            if !rng.gen_bool(drop_rate) {
+                xref_counter += 1;
+                dbxrefs.push_str(&format!(
+                    "{},{},PROTKB,{}\n",
+                    xref_counter, s.accession, p_acc
+                ));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    &s.accession,
+                    super::protein_kb::NAME,
+                    p_acc,
+                ));
+            }
+        }
+    }
+
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Tabular,
+        files: vec![
+            ("structures.csv".to_string(), structures),
+            ("chains.csv".to_string(), chains),
+            ("dbxrefs.csv".to_string(), dbxrefs),
+        ],
+    };
+    (dump, xrefs)
+}
+
+/// Render an alternative "flavour" of the structure database: the same primary
+/// objects (same accessions) with re-cleaned values, as a separate source
+/// named `structdb_<flavour>`. Used for the three-representations duplicate
+/// experiment (E8).
+pub fn render_flavour<R: Rng>(
+    world: &World,
+    flavour: &str,
+    rng: &mut R,
+) -> (SourceDump, Vec<EmittedXref>) {
+    let name = format!("{NAME}_{flavour}");
+    let mut structures = String::from("entry_code,structure_title,resolution_angstrom,exp_method\n");
+    for s in &world.structures {
+        // Different cleansing: title case differences and re-measured resolution.
+        let jitter: f64 = (rng.gen_range(-10..=10) as f64) / 100.0;
+        structures.push_str(&format!(
+            "{},{},{:.2},{}\n",
+            s.accession,
+            csv_escape(&s.title.to_uppercase()),
+            (s.resolution + jitter).max(0.5),
+            csv_escape(&s.method.to_lowercase())
+        ));
+    }
+    let dump = SourceDump {
+        name,
+        format: SourceFormat::Tabular,
+        files: vec![(format!("{flavour}_structures.csv"), structures)],
+    };
+    (dump, Vec::new())
+}
+
+/// Primary table after import.
+pub fn primary_table() -> String {
+    "structures".to_string()
+}
+
+/// Accession column of the primary table.
+pub fn accession_column() -> String {
+    "structure_id".to_string()
+}
+
+/// Secondary tables after import.
+pub fn secondary_tables() -> Vec<String> {
+    vec!["chains".to_string(), "dbxrefs".to_string()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (World, CorpusConfig) {
+        let mut config = CorpusConfig::small(21);
+        config.structure_fraction = 0.8;
+        config.missing_xref_rate = 0.0;
+        (World::generate(&config), config)
+    }
+
+    #[test]
+    fn renders_and_imports() {
+        let (world, config) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (dump, xrefs) = render(&world, &config, &mut rng);
+        assert_eq!(dump.files.len(), 3);
+        let db = dump.import().unwrap();
+        assert_eq!(
+            db.table("structures").unwrap().row_count(),
+            world.structures.len()
+        );
+        assert!(db.table("chains").unwrap().row_count() >= world.structures.len());
+        assert_eq!(db.table("dbxrefs").unwrap().row_count(), xrefs.len());
+        assert_eq!(xrefs.len(), world.structures.len());
+    }
+
+    #[test]
+    fn chains_reference_valid_structures() {
+        let (world, config) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (dump, _) = render(&world, &config, &mut rng);
+        let db = dump.import().unwrap();
+        let structures = db.table("structures").unwrap();
+        let ids = structures.distinct_values("structure_id").unwrap();
+        let chains = db.table("chains").unwrap();
+        let idx = chains.column_index("structure_id").unwrap();
+        for row in chains.rows() {
+            assert!(ids.contains(&row[idx]));
+        }
+    }
+
+    #[test]
+    fn flavours_share_accessions_but_differ_in_values() {
+        let (world, _config) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (dump, xrefs) = render_flavour(&world, "msd", &mut rng);
+        assert!(xrefs.is_empty());
+        assert_eq!(dump.name, "structdb_msd");
+        let db = dump.import().unwrap();
+        let t = db.table("msd_structures").unwrap();
+        assert_eq!(t.row_count(), world.structures.len());
+        // Same accession values as the original flavour.
+        let code = t.cell(0, "entry_code").unwrap().render();
+        assert!(world.structures.iter().any(|s| s.accession == code));
+    }
+}

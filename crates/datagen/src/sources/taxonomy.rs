@@ -1,0 +1,73 @@
+//! The taxonomy source: a small tabular source of organisms. Its numeric
+//! `taxid` column exercises the "purely numeric attributes are excluded"
+//! pruning rule; its alphanumeric `tax_code` behaves like a normal accession.
+
+use super::{csv_escape, EmittedXref};
+use crate::corpus::SourceDump;
+use crate::world::World;
+use aladin_import::SourceFormat;
+
+/// Source name.
+pub const NAME: &str = "taxdb";
+
+/// Render the taxonomy source (no outgoing cross-references).
+pub fn render(world: &World) -> (SourceDump, Vec<EmittedXref>) {
+    let mut taxa = String::from("tax_code,taxid,scientific_name,common_name,lineage\n");
+    for t in &world.taxa {
+        taxa.push_str(&format!(
+            "{},{},{},{},{}\n",
+            t.code,
+            t.taxid,
+            csv_escape(&t.scientific_name),
+            csv_escape(&t.common_name),
+            csv_escape(&format!("cellular organisms; Eukaryota; {}", t.scientific_name))
+        ));
+    }
+    let dump = SourceDump {
+        name: NAME.to_string(),
+        format: SourceFormat::Tabular,
+        files: vec![("taxa.csv".to_string(), taxa)],
+    };
+    (dump, Vec::new())
+}
+
+/// Primary table after import.
+pub fn primary_table() -> String {
+    "taxa".to_string()
+}
+
+/// Accession column of the primary table.
+pub fn accession_column() -> String {
+    "tax_code".to_string()
+}
+
+/// Secondary tables after import (none: single-table source).
+pub fn secondary_tables() -> Vec<String> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn renders_and_imports_taxa() {
+        let config = CorpusConfig::small(61);
+        let world = World::generate(&config);
+        let (dump, xrefs) = render(&world);
+        assert!(xrefs.is_empty());
+        let db = dump.import().unwrap();
+        let taxa = db.table("taxa").unwrap();
+        assert_eq!(taxa.row_count(), world.taxa.len());
+        // taxid imports as integers, tax_code as text.
+        assert_eq!(
+            taxa.schema().column("taxid").unwrap().data_type,
+            aladin_relstore::DataType::Integer
+        );
+        assert_eq!(
+            taxa.schema().column("tax_code").unwrap().data_type,
+            aladin_relstore::DataType::Text
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the corpus generator.
+
+use aladin_datagen::{Corpus, CorpusConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CorpusConfig> {
+    (
+        0u64..1000,
+        10usize..60,
+        1usize..10,
+        (0.0f64..1.0),
+        (0.0f64..1.0),
+        (0.0f64..0.6),
+    )
+        .prop_map(|(seed, n_proteins, n_families, overlap, backlog, mutation)| CorpusConfig {
+            seed,
+            n_proteins,
+            n_families,
+            archive_overlap: overlap,
+            missing_xref_rate: backlog,
+            mutation_rate: mutation,
+            ..CorpusConfig::small(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated corpus imports cleanly, its declared primary tables
+    /// exist with unique accession columns, and its ground truth is
+    /// internally consistent (links and duplicates refer to accessions that
+    /// exist in the declared sources).
+    #[test]
+    fn corpora_are_well_formed(config in arb_config()) {
+        let corpus = Corpus::generate(&config);
+        let databases = corpus.import_all().expect("corpus imports");
+        prop_assert_eq!(databases.len(), corpus.sources.len());
+
+        for truth in &corpus.truth.sources {
+            let db = databases.iter().find(|d| d.name() == truth.source).expect("source imported");
+            for (table, column) in truth.primary_tables.iter().zip(&truth.accession_columns) {
+                let t = db.table(table).expect("primary table exists");
+                prop_assert!(t.schema().index_of(column).is_some());
+                // An empty primary table (e.g. zero archive overlap) has no
+                // accession values to be unique.
+                prop_assert!(t.is_empty() || t.column_is_unique(column).unwrap());
+            }
+        }
+
+        // Duplicate pairs reference objects of the declared sources.
+        for dup in &corpus.truth.duplicates {
+            prop_assert!(corpus.truth.source(&dup.source_a).is_some());
+            prop_assert!(corpus.truth.source(&dup.source_b).is_some());
+        }
+        // Explicit link counts never exceed total link counts.
+        prop_assert!(corpus.truth.explicit_link_count() <= corpus.truth.links.len());
+        prop_assert_eq!(
+            corpus.truth.explicit_link_count() + corpus.truth.withheld_link_count(),
+            corpus.truth.links.len()
+        );
+    }
+
+    /// Generation is deterministic in the seed.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let config = CorpusConfig { seed, ..CorpusConfig::small(seed) };
+        let a = Corpus::generate(&config);
+        let b = Corpus::generate(&config);
+        prop_assert_eq!(a.byte_size(), b.byte_size());
+        prop_assert_eq!(a.truth.links.len(), b.truth.links.len());
+        prop_assert_eq!(a.truth.duplicates.len(), b.truth.duplicates.len());
+    }
+}

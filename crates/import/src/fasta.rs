@@ -1,0 +1,152 @@
+//! FASTA sequence-file import.
+//!
+//! Every FASTA file becomes one table `<file>` with columns
+//! `(record_id, accession, description, sequence)`. The accession is the
+//! first whitespace-delimited token of the header line (with any `db|ACC|`
+//! prefixes unwrapped), the description the rest of the header.
+
+use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
+
+/// Parse a FASTA file into a table of `db` named after the file.
+pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
+    let mut records: Vec<(String, String, String)> = Vec::new();
+    let mut header: Option<(String, String)> = None;
+    let mut sequence = String::new();
+
+    for (line_no, line) in content.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('>') {
+            if let Some((acc, desc)) = header.take() {
+                records.push((acc, desc, std::mem::take(&mut sequence)));
+            }
+            let mut parts = h.trim().splitn(2, char::is_whitespace);
+            let raw_id = parts.next().unwrap_or("").to_string();
+            let desc = parts.next().unwrap_or("").trim().to_string();
+            if raw_id.is_empty() {
+                return Err(ImportError::Malformed(format!(
+                    "file '{file_name}', line {}: empty FASTA header",
+                    line_no + 1
+                )));
+            }
+            header = Some((unwrap_accession(&raw_id), desc));
+        } else {
+            if header.is_none() {
+                return Err(ImportError::Malformed(format!(
+                    "file '{file_name}', line {}: sequence data before first header",
+                    line_no + 1
+                )));
+            }
+            sequence.extend(line.chars().filter(|c| !c.is_whitespace()));
+        }
+    }
+    if let Some((acc, desc)) = header {
+        records.push((acc, desc, sequence));
+    }
+    if records.is_empty() {
+        return Ok(());
+    }
+
+    let table = table_name_from_file(file_name);
+    db.create_table(
+        &table,
+        TableSchema::new(vec![
+            ColumnDef::not_null("record_id", DataType::Integer),
+            ColumnDef::text("accession"),
+            ColumnDef::text("description"),
+            ColumnDef::text("sequence"),
+        ])
+        .map_err(ImportError::Storage)?,
+    )?;
+    for (i, (acc, desc, seq)) in records.into_iter().enumerate() {
+        db.insert(
+            &table,
+            vec![
+                Value::Int((i + 1) as i64),
+                Value::text(acc),
+                if desc.is_empty() { Value::Null } else { Value::text(desc) },
+                if seq.is_empty() { Value::Null } else { Value::text(seq) },
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+/// Unwrap `db|ACC|rest`-style FASTA identifiers to the bare accession; plain
+/// identifiers pass through unchanged.
+fn unwrap_accession(raw: &str) -> String {
+    let parts: Vec<&str> = raw.split('|').filter(|p| !p.is_empty()).collect();
+    if parts.len() >= 2 {
+        parts[1].to_string()
+    } else {
+        raw.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>P12345 Serine kinase A
+MKTAYIAKQRQISFVKSHFSRQ
+LEERLGLIEVQ
+>sp|P67890|TRAB_HUMAN Membrane transporter B
+MSDNNNAKVVLIGAGGIGCE
+>Q00001
+MAAAKK
+";
+
+    #[test]
+    fn parses_records_with_multiline_sequences() {
+        let mut db = Database::new("fasta");
+        parse_into(&mut db, "proteins.fasta", SAMPLE).unwrap();
+        let t = db.table("proteins").unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.cell(0, "accession").unwrap(), &Value::text("P12345"));
+        assert_eq!(
+            t.cell(0, "sequence").unwrap(),
+            &Value::text("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+        );
+        assert_eq!(t.cell(0, "description").unwrap(), &Value::text("Serine kinase A"));
+    }
+
+    #[test]
+    fn pipe_delimited_headers_unwrap_accession() {
+        let mut db = Database::new("fasta");
+        parse_into(&mut db, "p.fasta", SAMPLE).unwrap();
+        let t = db.table("p").unwrap();
+        assert_eq!(t.cell(1, "accession").unwrap(), &Value::text("P67890"));
+    }
+
+    #[test]
+    fn header_without_description_gets_null() {
+        let mut db = Database::new("fasta");
+        parse_into(&mut db, "p.fasta", SAMPLE).unwrap();
+        let t = db.table("p").unwrap();
+        assert_eq!(t.cell(2, "description").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn sequence_before_header_is_an_error() {
+        let mut db = Database::new("fasta");
+        let err = parse_into(&mut db, "bad.fasta", "ACGT\n>X\nACGT\n").unwrap_err();
+        assert!(matches!(err, ImportError::Malformed(_)));
+    }
+
+    #[test]
+    fn empty_file_is_noop() {
+        let mut db = Database::new("fasta");
+        parse_into(&mut db, "empty.fasta", "").unwrap();
+        assert_eq!(db.table_count(), 0);
+    }
+
+    #[test]
+    fn empty_header_is_rejected() {
+        let mut db = Database::new("fasta");
+        assert!(parse_into(&mut db, "bad.fasta", ">\nACGT\n").is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Line-typed flat-file import (Swiss-Prot / EMBL style).
+//!
+//! The format: every line starts with a short line code (e.g. `ID`, `AC`,
+//! `DE`, `KW`, `DR`, `SQ`), followed by whitespace and the line value. Records
+//! are separated by a line containing only `//`. Sequence data follows an `SQ`
+//! header as indented continuation lines until the record ends.
+//!
+//! The parser is deliberately *schema-free*:
+//!
+//! * Line codes that occur **at most once per record** become columns of the
+//!   main entry table (named `<file>_entry`), alongside a surrogate
+//!   `entry_id`.
+//! * Line codes that occur **multiple times in some record** become child
+//!   tables `<file>_<code>` with columns `(<code>_id, entry_id, value)` —
+//!   exactly the shape of BioSQL's multi-valued annotation tables that the
+//!   paper's case study (Section 5) reasons about.
+//! * The sequence block (if any) is stored in a 1:1 child table
+//!   `<file>_seq(seq_id, entry_id, sequence)`.
+//!
+//! No accession detection, no foreign-key declarations: those are ALADIN's
+//! job, not the importer's.
+
+use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One parsed record: line code → values in order of appearance, plus the
+/// optional sequence block.
+#[derive(Debug, Default, Clone)]
+struct RawRecord {
+    fields: BTreeMap<String, Vec<String>>,
+    sequence: Option<String>,
+}
+
+fn parse_records(content: &str) -> ImportResult<Vec<RawRecord>> {
+    let mut records = Vec::new();
+    let mut current = RawRecord::default();
+    let mut in_sequence = false;
+    let mut has_content = false;
+
+    for line in content.lines() {
+        if line.trim() == "//" {
+            if has_content {
+                records.push(std::mem::take(&mut current));
+            }
+            has_content = false;
+            in_sequence = false;
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if in_sequence && line.starts_with(' ') {
+            let seq: String = line.chars().filter(|c| !c.is_whitespace() && !c.is_ascii_digit()).collect();
+            current
+                .sequence
+                .get_or_insert_with(String::new)
+                .push_str(&seq);
+            continue;
+        }
+        in_sequence = false;
+        let (code, value) = match line.split_once(char::is_whitespace) {
+            Some((c, v)) => (c.trim(), v.trim()),
+            None => (line.trim(), ""),
+        };
+        if code.is_empty() {
+            return Err(ImportError::Malformed(format!(
+                "flat file line without a line code: '{line}'"
+            )));
+        }
+        has_content = true;
+        if code.eq_ignore_ascii_case("SQ") {
+            in_sequence = true;
+            current.sequence.get_or_insert_with(String::new);
+            continue;
+        }
+        current
+            .fields
+            .entry(code.to_ascii_lowercase())
+            .or_default()
+            .push(value.to_string());
+    }
+    if has_content {
+        records.push(current);
+    }
+    Ok(records)
+}
+
+/// Parse a flat file and add its tables to `db`.
+pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
+    let records = parse_records(content)?;
+    if records.is_empty() {
+        return Ok(());
+    }
+    let prefix = table_name_from_file(file_name);
+
+    // Decide which codes are single- vs multi-valued across the whole file.
+    let mut all_codes: BTreeSet<String> = BTreeSet::new();
+    let mut multi_codes: BTreeSet<String> = BTreeSet::new();
+    let mut any_sequence = false;
+    for r in &records {
+        for (code, values) in &r.fields {
+            all_codes.insert(code.clone());
+            if values.len() > 1 {
+                multi_codes.insert(code.clone());
+            }
+        }
+        if r.sequence.is_some() {
+            any_sequence = true;
+        }
+    }
+    let single_codes: Vec<String> = all_codes
+        .iter()
+        .filter(|c| !multi_codes.contains(*c))
+        .cloned()
+        .collect();
+
+    // Main entry table.
+    let entry_table = format!("{prefix}_entry");
+    let mut entry_cols = vec![ColumnDef::not_null("entry_id", DataType::Integer)];
+    for code in &single_codes {
+        entry_cols.push(ColumnDef::text(code.clone()));
+    }
+    db.create_table(
+        &entry_table,
+        TableSchema::new(entry_cols).map_err(ImportError::Storage)?,
+    )?;
+
+    // Child tables for multi-valued codes.
+    for code in &multi_codes {
+        let child = format!("{prefix}_{code}");
+        db.create_table(
+            &child,
+            TableSchema::new(vec![
+                ColumnDef::not_null(format!("{code}_id"), DataType::Integer),
+                ColumnDef::not_null("entry_id", DataType::Integer),
+                ColumnDef::text("value"),
+            ])
+            .map_err(ImportError::Storage)?,
+        )?;
+    }
+
+    // Sequence table.
+    let seq_table = format!("{prefix}_seq");
+    if any_sequence {
+        db.create_table(
+            &seq_table,
+            TableSchema::new(vec![
+                ColumnDef::not_null("seq_id", DataType::Integer),
+                ColumnDef::not_null("entry_id", DataType::Integer),
+                ColumnDef::text("sequence"),
+            ])
+            .map_err(ImportError::Storage)?,
+        )?;
+    }
+
+    // Populate.
+    let mut child_counters: BTreeMap<String, i64> = BTreeMap::new();
+    let mut seq_counter = 0i64;
+    for (i, record) in records.iter().enumerate() {
+        let entry_id = (i + 1) as i64;
+        let mut row = vec![Value::Int(entry_id)];
+        for code in &single_codes {
+            let v = record
+                .fields
+                .get(code)
+                .and_then(|vals| vals.first())
+                .map(|s| {
+                    if s.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::text(s.clone())
+                    }
+                })
+                .unwrap_or(Value::Null);
+            row.push(v);
+        }
+        db.insert(&entry_table, row)?;
+
+        for code in &multi_codes {
+            if let Some(values) = record.fields.get(code) {
+                let child = format!("{prefix}_{code}");
+                for v in values {
+                    let counter = child_counters.entry(code.clone()).or_insert(0);
+                    *counter += 1;
+                    db.insert(
+                        &child,
+                        vec![
+                            Value::Int(*counter),
+                            Value::Int(entry_id),
+                            if v.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::text(v.clone())
+                            },
+                        ],
+                    )?;
+                }
+            }
+        }
+
+        if let Some(seq) = &record.sequence {
+            seq_counter += 1;
+            db.insert(
+                &seq_table,
+                vec![
+                    Value::Int(seq_counter),
+                    Value::Int(entry_id),
+                    if seq.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::text(seq.clone())
+                    },
+                ],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ID   KINA_HUMAN
+AC   P12345
+DE   Serine/threonine-protein kinase A
+OS   Homo sapiens
+KW   Kinase
+KW   ATP-binding
+DR   STRUCTDB; 1ABC
+DR   GENEDB; ENSG00000042753
+SQ   SEQUENCE 33 AA
+     MKTAYIAKQR QISFVKSHFS RQLEERLGLI EVQ
+//
+ID   TRAB_HUMAN
+AC   P67890
+DE   Membrane transporter B
+OS   Homo sapiens
+KW   Transport
+DR   STRUCTDB; 2DEF
+SQ   SEQUENCE 20 AA
+     MSDNNNAKVV LIGAGGIGCE
+//
+";
+
+    #[test]
+    fn parses_entries_and_child_tables() {
+        let mut db = Database::new("protkb");
+        parse_into(&mut db, "proteins.dat", SAMPLE).unwrap();
+
+        let entry = db.table("proteins_entry").unwrap();
+        assert_eq!(entry.row_count(), 2);
+        // Single-valued codes are columns.
+        assert!(entry.schema().index_of("ac").is_some());
+        assert!(entry.schema().index_of("de").is_some());
+        assert!(entry.schema().index_of("os").is_some());
+        assert_eq!(entry.cell(0, "ac").unwrap(), &Value::text("P12345"));
+
+        // Multi-valued codes become child tables with entry_id references.
+        let kw = db.table("proteins_kw").unwrap();
+        assert_eq!(kw.row_count(), 3);
+        let dr = db.table("proteins_dr").unwrap();
+        assert_eq!(dr.row_count(), 3);
+        assert_eq!(dr.cell(0, "entry_id").unwrap(), &Value::Int(1));
+        assert_eq!(dr.cell(2, "entry_id").unwrap(), &Value::Int(2));
+
+        // Sequences concatenated without whitespace.
+        let seq = db.table("proteins_seq").unwrap();
+        assert_eq!(seq.row_count(), 2);
+        assert_eq!(
+            seq.cell(0, "sequence").unwrap(),
+            &Value::text("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+        );
+    }
+
+    #[test]
+    fn single_record_without_separator_is_parsed() {
+        let mut db = Database::new("x");
+        parse_into(&mut db, "one.dat", "ID   X\nAC   A1234\n").unwrap();
+        assert_eq!(db.table("one_entry").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn code_missing_in_some_records_yields_null() {
+        let mut db = Database::new("x");
+        let content = "AC   A0001\nDE   has description\n//\nAC   A0002\n//\n";
+        parse_into(&mut db, "f.dat", content).unwrap();
+        let t = db.table("f_entry").unwrap();
+        assert_eq!(t.cell(1, "de").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn code_that_repeats_anywhere_is_a_child_table_everywhere() {
+        let mut db = Database::new("x");
+        let content = "AC   A0001\nKW   one\n//\nAC   A0002\nKW   two\nKW   three\n//\n";
+        parse_into(&mut db, "f.dat", content).unwrap();
+        let entry = db.table("f_entry").unwrap();
+        assert!(entry.schema().index_of("kw").is_none());
+        let kw = db.table("f_kw").unwrap();
+        assert_eq!(kw.row_count(), 3);
+    }
+
+    #[test]
+    fn empty_content_is_noop() {
+        let mut db = Database::new("x");
+        parse_into(&mut db, "f.dat", "").unwrap();
+        assert_eq!(db.table_count(), 0);
+        parse_into(&mut db, "g.dat", "\n\n//\n").unwrap();
+        assert_eq!(db.table_count(), 0);
+    }
+
+    #[test]
+    fn no_sequence_block_means_no_seq_table() {
+        let mut db = Database::new("x");
+        parse_into(&mut db, "f.dat", "AC   A0001\n//\n").unwrap();
+        assert!(db.table("f_seq").is_err());
+    }
+
+    #[test]
+    fn sequence_digits_and_spaces_are_stripped() {
+        let mut db = Database::new("x");
+        let content = "AC   A0001\nSQ   SEQUENCE\n     ACGT ACGT 10\n     TTTT\n//\n";
+        parse_into(&mut db, "f.dat", content).unwrap();
+        let seq = db.table("f_seq").unwrap();
+        assert_eq!(seq.cell(0, "sequence").unwrap(), &Value::text("ACGTACGTTTTT"));
+    }
+}

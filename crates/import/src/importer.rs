@@ -1,0 +1,151 @@
+//! Import dispatch: turn a set of source files into a relational database.
+
+use aladin_relstore::{Database, RelError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The source formats the import component understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceFormat {
+    /// Line-typed flat file (Swiss-Prot/EMBL style).
+    FlatFile,
+    /// XML, shredded generically into one table per element name.
+    Xml,
+    /// Delimited text with a header row (comma or tab separated, detected
+    /// per file).
+    Tabular,
+    /// FASTA sequence files.
+    Fasta,
+}
+
+impl fmt::Display for SourceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceFormat::FlatFile => "flatfile",
+            SourceFormat::Xml => "xml",
+            SourceFormat::Tabular => "tabular",
+            SourceFormat::Fasta => "fasta",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors produced during import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The file content did not conform to the expected format.
+    Malformed(String),
+    /// The underlying relational substrate rejected the data.
+    Storage(RelError),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Malformed(m) => write!(f, "malformed input: {m}"),
+            ImportError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<RelError> for ImportError {
+    fn from(e: RelError) -> Self {
+        ImportError::Storage(e)
+    }
+}
+
+/// Convenience result alias.
+pub type ImportResult<T> = Result<T, ImportError>;
+
+/// Import a data source given as a list of `(file name, file content)` pairs
+/// in a single format, producing one relational database named after the
+/// source.
+///
+/// Table names are derived from the file names (without extension) by the
+/// individual parsers; when a parser produces several tables per file (flat
+/// files, XML) the parser's own naming applies.
+pub fn import_files(
+    source_name: &str,
+    format: SourceFormat,
+    files: &[(String, String)],
+) -> ImportResult<Database> {
+    let mut db = Database::new(source_name);
+    for (file_name, content) in files {
+        match format {
+            SourceFormat::FlatFile => crate::flatfile::parse_into(&mut db, file_name, content)?,
+            SourceFormat::Xml => crate::xml::shred_into(&mut db, file_name, content)?,
+            SourceFormat::Tabular => crate::tabular::parse_into(&mut db, file_name, content)?,
+            SourceFormat::Fasta => crate::fasta::parse_into(&mut db, file_name, content)?,
+        }
+    }
+    Ok(db)
+}
+
+/// Derive a table name from a file name: strip directories and the extension,
+/// lowercase, and replace non-alphanumeric characters with `_`.
+pub fn table_name_from_file(file_name: &str) -> String {
+    let base = file_name
+        .rsplit(['/', '\\'])
+        .next()
+        .unwrap_or(file_name);
+    let stem = base.split('.').next().unwrap_or(base);
+    let mut out: String = stem
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("table");
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 't');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_name_derivation() {
+        assert_eq!(table_name_from_file("structures.csv"), "structures");
+        assert_eq!(table_name_from_file("data/Protein-Entries.txt"), "protein_entries");
+        assert_eq!(table_name_from_file("3d.tsv"), "t3d");
+        assert_eq!(table_name_from_file(""), "table");
+    }
+
+    #[test]
+    fn import_dispatches_to_tabular() {
+        let files = vec![(
+            "genes.csv".to_string(),
+            "gene_id,symbol\n1,BRCA1\n2,TP53\n".to_string(),
+        )];
+        let db = import_files("genedb", SourceFormat::Tabular, &files).unwrap();
+        assert_eq!(db.name(), "genedb");
+        assert_eq!(db.table("genes").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn import_error_display() {
+        let e = ImportError::Malformed("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: ImportError = RelError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn format_display() {
+        assert_eq!(SourceFormat::FlatFile.to_string(), "flatfile");
+        assert_eq!(SourceFormat::Xml.to_string(), "xml");
+        assert_eq!(SourceFormat::Tabular.to_string(), "tabular");
+        assert_eq!(SourceFormat::Fasta.to_string(), "fasta");
+    }
+}

@@ -1,0 +1,39 @@
+//! # aladin-import
+//!
+//! The *data import* component of ALADIN (paper, Section 4.1).
+//!
+//! "The task of the data import component is to read a data source into a
+//! relational database. It is neither necessary that the relational schema or
+//! its elements conform to any standard, nor is it necessary that integrity
+//! constraints [...] are present in the schema." The parsers here are
+//! intentionally *quick-and-dirty* in exactly the paper's sense: they map the
+//! syntactic structure of the source format to tables without any semantic
+//! interpretation, leaving all discovery to `aladin-core`:
+//!
+//! * [`flatfile`] — line-typed flat files in the Swiss-Prot/EMBL style
+//!   (two-letter line codes, `//` record separators). Single-valued codes
+//!   become columns of the entry table, repeated codes become child tables
+//!   keyed by a surrogate `entry_id`, and sequence blocks are concatenated —
+//!   which reproduces the BioSQL-like shape discussed in the paper's case
+//!   study.
+//! * [`xml`] — a minimal XML parser plus a *generic shredder*: one table per
+//!   element name, one surrogate key per element, a `parent_id` column linking
+//!   to the enclosing element (the "generic XML-to-relational mapping tool"
+//!   of the paper).
+//! * [`tabular`] — delimited text (CSV/TSV) with a header row and type
+//!   inference.
+//! * [`fasta`] — FASTA sequence files.
+//! * [`importer`] — the [`importer::SourceFormat`] registry and
+//!   [`importer::import_files`] entry point that dispatches to the right
+//!   parser and assembles one [`aladin_relstore::Database`] per data source.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fasta;
+pub mod flatfile;
+pub mod importer;
+pub mod tabular;
+pub mod xml;
+
+pub use importer::{import_files, ImportError, ImportResult, SourceFormat};

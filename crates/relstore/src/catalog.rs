@@ -1,0 +1,388 @@
+//! The catalog: named tables plus the data dictionary.
+
+use crate::constraint::{Constraint, ForeignKey};
+use crate::error::{RelError, RelResult};
+use crate::schema::TableSchema;
+use crate::table::{Row, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A database: an ordered collection of named tables and their declared
+/// constraints (the *data dictionary*).
+///
+/// In the ALADIN architecture each imported data source becomes one such
+/// database inside the warehouse; the warehouse itself is a collection of
+/// `Database` values managed by `aladin-core`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+    constraints: Vec<Constraint>,
+}
+
+impl Database {
+    /// Create an empty database with the given name.
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            name: name.into(),
+            tables: BTreeMap::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Database (data source) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Create a table, rejecting duplicates (case-insensitive via key
+    /// normalization to lowercase).
+    pub fn create_table(&mut self, name: impl Into<String>, schema: TableSchema) -> RelResult<()> {
+        let name = name.into();
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(RelError::AlreadyExists(format!("table '{name}'")));
+        }
+        self.tables.insert(key, Table::new(name, schema));
+        Ok(())
+    }
+
+    /// Add an already-built table, rejecting duplicates.
+    pub fn add_table(&mut self, table: Table) -> RelResult<()> {
+        let key = table.name().to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(RelError::AlreadyExists(format!("table '{}'", table.name())));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Remove a table and any constraints that mention it. Returns the table.
+    pub fn drop_table(&mut self, name: &str) -> RelResult<Table> {
+        let key = name.to_ascii_lowercase();
+        let table = self
+            .tables
+            .remove(&key)
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))?;
+        self.constraints.retain(|c| match c {
+            Constraint::ForeignKey(fk) => {
+                !fk.table.eq_ignore_ascii_case(name) && !fk.ref_table.eq_ignore_ascii_case(name)
+            }
+            other => !other.table().eq_ignore_ascii_case(name),
+        });
+        Ok(table)
+    }
+
+    /// Fetch a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> RelResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Fetch a table mutably by case-insensitive name.
+    pub fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Insert a row into the named table.
+    pub fn insert(&mut self, table: &str, row: Row) -> RelResult<()> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Insert many rows into the named table; returns the number inserted.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> RelResult<usize> {
+        self.table_mut(table)?.insert_all(rows)
+    }
+
+    /// Declare a constraint. The referenced table(s) and column(s) must exist.
+    /// Declaring the same constraint twice is a silent no-op (imports often
+    /// replay dictionary dumps).
+    pub fn add_constraint(&mut self, constraint: Constraint) -> RelResult<()> {
+        self.validate_constraint(&constraint)?;
+        if !self.constraints.contains(&constraint) {
+            self.constraints.push(constraint);
+        }
+        Ok(())
+    }
+
+    fn validate_constraint(&self, constraint: &Constraint) -> RelResult<()> {
+        let check = |table: &str, column: &str| -> RelResult<()> {
+            let t = self.table(table)?;
+            t.schema().require(column).map(|_| ())
+        };
+        match constraint {
+            Constraint::Unique { table, column }
+            | Constraint::PrimaryKey { table, column }
+            | Constraint::NotNull { table, column } => check(table, column),
+            Constraint::ForeignKey(fk) => {
+                check(&fk.table, &fk.column)?;
+                check(&fk.ref_table, &fk.ref_column)
+            }
+        }
+    }
+
+    /// All declared constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Declared constraints for a single table (FKs are listed under their
+    /// referencing table).
+    pub fn constraints_for(&self, table: &str) -> Vec<&Constraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.table().eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    /// Declared foreign keys (referencing table, column, referenced table,
+    /// column) across the whole database.
+    pub fn foreign_keys(&self) -> Vec<&ForeignKey> {
+        self.constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::ForeignKey(fk) => Some(fk),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether a column is declared unique (UNIQUE or PRIMARY KEY) in the data
+    /// dictionary.
+    pub fn is_declared_unique(&self, table: &str, column: &str) -> bool {
+        self.constraints.iter().any(|c| {
+            c.implies_unique()
+                && c.table().eq_ignore_ascii_case(table)
+                && c.column().eq_ignore_ascii_case(column)
+        })
+    }
+
+    /// Verify the data against the declared constraints, returning a list of
+    /// human-readable violations (empty = consistent). This powers tests and
+    /// the importers' self-checks; it is intentionally a full scan.
+    pub fn check_consistency(&self) -> RelResult<Vec<String>> {
+        let mut violations = Vec::new();
+        for c in &self.constraints {
+            match c {
+                Constraint::Unique { table, column } | Constraint::PrimaryKey { table, column } => {
+                    let t = self.table(table)?;
+                    if !t.is_empty() && !t.column_is_unique(column)? {
+                        violations.push(format!("{c} violated: duplicate values"));
+                    }
+                    if matches!(c, Constraint::PrimaryKey { .. }) {
+                        let idx = t.column_index(column)?;
+                        if t.rows().iter().any(|r| r[idx].is_null()) {
+                            violations.push(format!("{c} violated: NULL key"));
+                        }
+                    }
+                }
+                Constraint::NotNull { table, column } => {
+                    let t = self.table(table)?;
+                    let idx = t.column_index(column)?;
+                    if t.rows().iter().any(|r| r[idx].is_null()) {
+                        violations.push(format!("{c} violated: NULL value"));
+                    }
+                }
+                Constraint::ForeignKey(fk) => {
+                    let child = self.table(&fk.table)?;
+                    let parent = self.table(&fk.ref_table)?;
+                    let parent_vals = parent.distinct_values(&fk.ref_column)?;
+                    let idx = child.column_index(&fk.column)?;
+                    for row in child.rows() {
+                        let v = &row[idx];
+                        if !v.is_null() && !parent_vals.contains(v) {
+                            violations.push(format!("{c} violated: dangling value '{v}'"));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new("biosql");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![ColumnDef::int("bioentry_id"), ColumnDef::text("accession")]),
+        )
+        .unwrap();
+        db.create_table(
+            "dbref",
+            TableSchema::of(vec![
+                ColumnDef::int("dbref_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+            ]),
+        )
+        .unwrap();
+        db.insert("bioentry", vec![Value::Int(1), Value::text("P12345")])
+            .unwrap();
+        db.insert("bioentry", vec![Value::Int(2), Value::text("P67890")])
+            .unwrap();
+        db.insert(
+            "dbref",
+            vec![Value::Int(10), Value::Int(1), Value::text("PDB:1ABC")],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let db = db();
+        assert!(db.table("BIOENTRY").is_ok());
+        assert!(db.table("BioEntry").is_ok());
+        assert!(matches!(db.table("missing"), Err(RelError::UnknownTable(_))));
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.total_rows(), 3);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let err = db
+            .create_table("BioEntry", TableSchema::of(vec![ColumnDef::int("x")]))
+            .unwrap_err();
+        assert!(matches!(err, RelError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn constraints_validated_against_schema() {
+        let mut db = db();
+        assert!(db
+            .add_constraint(Constraint::PrimaryKey {
+                table: "bioentry".into(),
+                column: "bioentry_id".into()
+            })
+            .is_ok());
+        assert!(db
+            .add_constraint(Constraint::Unique {
+                table: "bioentry".into(),
+                column: "no_such".into()
+            })
+            .is_err());
+        assert!(db
+            .add_constraint(Constraint::ForeignKey(ForeignKey::new(
+                "dbref",
+                "bioentry_id",
+                "bioentry",
+                "bioentry_id"
+            )))
+            .is_ok());
+        assert_eq!(db.foreign_keys().len(), 1);
+        assert!(db.is_declared_unique("bioentry", "bioentry_id"));
+        assert!(!db.is_declared_unique("dbref", "accession"));
+    }
+
+    #[test]
+    fn duplicate_constraint_is_noop() {
+        let mut db = db();
+        let c = Constraint::Unique {
+            table: "bioentry".into(),
+            column: "accession".into(),
+        };
+        db.add_constraint(c.clone()).unwrap();
+        db.add_constraint(c).unwrap();
+        assert_eq!(db.constraints().len(), 1);
+    }
+
+    #[test]
+    fn consistency_check_detects_violations() {
+        let mut db = db();
+        db.add_constraint(Constraint::PrimaryKey {
+            table: "bioentry".into(),
+            column: "bioentry_id".into(),
+        })
+        .unwrap();
+        db.add_constraint(Constraint::ForeignKey(ForeignKey::new(
+            "dbref",
+            "bioentry_id",
+            "bioentry",
+            "bioentry_id",
+        )))
+        .unwrap();
+        assert!(db.check_consistency().unwrap().is_empty());
+
+        db.insert("bioentry", vec![Value::Int(1), Value::text("DUP")])
+            .unwrap();
+        db.insert(
+            "dbref",
+            vec![Value::Int(11), Value::Int(99), Value::text("X")],
+        )
+        .unwrap();
+        let violations = db.check_consistency().unwrap();
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("duplicate")));
+        assert!(violations.iter().any(|v| v.contains("dangling")));
+    }
+
+    #[test]
+    fn drop_table_removes_constraints() {
+        let mut db = db();
+        db.add_constraint(Constraint::ForeignKey(ForeignKey::new(
+            "dbref",
+            "bioentry_id",
+            "bioentry",
+            "bioentry_id",
+        )))
+        .unwrap();
+        db.drop_table("bioentry").unwrap();
+        assert!(db.constraints().is_empty());
+        assert!(db.table("bioentry").is_err());
+        assert!(db.drop_table("bioentry").is_err());
+    }
+
+    #[test]
+    fn constraints_for_filters_by_table() {
+        let mut db = db();
+        db.add_constraint(Constraint::Unique {
+            table: "bioentry".into(),
+            column: "accession".into(),
+        })
+        .unwrap();
+        db.add_constraint(Constraint::NotNull {
+            table: "dbref".into(),
+            column: "accession".into(),
+        })
+        .unwrap();
+        assert_eq!(db.constraints_for("bioentry").len(), 1);
+        assert_eq!(db.constraints_for("dbref").len(), 1);
+        assert_eq!(db.constraints_for("unknown").len(), 0);
+    }
+}

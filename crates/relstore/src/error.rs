@@ -1,0 +1,75 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table was addressed that does not exist in the catalog.
+    UnknownTable(String),
+    /// A column was addressed that does not exist in its table.
+    UnknownColumn(String),
+    /// A row did not match the arity or types of the table schema.
+    SchemaMismatch(String),
+    /// A constraint (UNIQUE, PRIMARY KEY, FOREIGN KEY, NOT NULL) was violated.
+    ConstraintViolation(String),
+    /// An expression could not be evaluated (type error, unknown column, ...).
+    Eval(String),
+    /// A SQL string could not be parsed.
+    Parse(String),
+    /// A plan could not be executed.
+    Exec(String),
+    /// A duplicate object (table, index, constraint) was created.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            RelError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+            RelError::Eval(m) => write!(f, "evaluation error: {m}"),
+            RelError::Parse(m) => write!(f, "parse error: {m}"),
+            RelError::Exec(m) => write!(f, "execution error: {m}"),
+            RelError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience result alias used throughout the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            RelError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        assert_eq!(
+            RelError::UnknownColumn("c".into()).to_string(),
+            "unknown column: c"
+        );
+        assert_eq!(
+            RelError::Parse("bad".into()).to_string(),
+            "parse error: bad"
+        );
+        assert_eq!(
+            RelError::ConstraintViolation("dup".into()).to_string(),
+            "constraint violation: dup"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&RelError::Exec("x".into()));
+    }
+}

@@ -1,0 +1,492 @@
+//! Executor for logical plans.
+//!
+//! The executor is a straightforward pull-based, materializing evaluator: every
+//! operator consumes a fully materialized [`Table`] and produces one. This is
+//! adequate for the warehouse sizes exercised in the reproduction and keeps the
+//! code easy to audit; the expensive analyses in ALADIN (value-set comparisons,
+//! link discovery) bypass the executor and use hash-based set operations
+//! directly.
+
+use crate::catalog::Database;
+use crate::error::{RelError, RelResult};
+use crate::plan::{AggFunc, Aggregate, JoinType, LogicalPlan, SortKey};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::{Row, Table};
+use crate::types::DataType;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Execute a logical plan against a database, producing a result table.
+pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = db.table(table)?;
+            Ok(t.clone())
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let t = execute(db, input)?;
+            let schema = t.schema().clone();
+            let mut out = Table::new("filter", schema.clone());
+            for row in t.rows() {
+                if predicate.eval_predicate(&schema, row)? {
+                    out.insert(row.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let t = execute(db, input)?;
+            let in_schema = t.schema().clone();
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                cols.push(ColumnDef::new(name.clone(), e.result_type(&in_schema)));
+            }
+            let out_schema = TableSchema::new(cols)?;
+            let mut out = Table::new("project", out_schema);
+            for row in t.rows() {
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    new_row.push(e.eval(&in_schema, row)?);
+                }
+                out.insert(new_row)?;
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            join_type,
+            left_qualifier,
+            right_qualifier,
+        } => {
+            let lt = execute(db, left)?;
+            let rt = execute(db, right)?;
+            execute_join(
+                &lt,
+                &rt,
+                left_col,
+                right_col,
+                *join_type,
+                left_qualifier,
+                right_qualifier,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let t = execute(db, input)?;
+            execute_aggregate(&t, group_by, aggregates)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let t = execute(db, input)?;
+            execute_sort(&t, keys)
+        }
+        LogicalPlan::Limit { input, limit } => {
+            let t = execute(db, input)?;
+            let mut out = t.empty_like();
+            for row in t.rows().iter().take(*limit) {
+                out.insert(row.clone())?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn execute_join(
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+    join_type: JoinType,
+    left_qual: &str,
+    right_qual: &str,
+) -> RelResult<Table> {
+    let l_idx = left.column_index(left_col)?;
+    let r_idx = right.column_index(right_col)?;
+    let out_schema = left.schema().join(right.schema(), left_qual, right_qual);
+    let mut out = Table::new("join", out_schema);
+
+    // Hash join: build on the right, probe from the left.
+    let mut build: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(right.row_count());
+    for row in right.rows() {
+        let key = &row[r_idx];
+        if key.is_null() {
+            continue;
+        }
+        build.entry(key).or_default().push(row);
+    }
+
+    let right_arity = right.schema().arity();
+    for lrow in left.rows() {
+        let key = &lrow[l_idx];
+        let matches = if key.is_null() { None } else { build.get(key) };
+        match matches {
+            Some(rrows) => {
+                for rrow in rrows {
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    out.insert(combined)?;
+                }
+            }
+            None => {
+                if join_type == JoinType::LeftOuter {
+                    let mut combined = Vec::with_capacity(lrow.len() + right_arity);
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(std::iter::repeat(Value::Null).take(right_arity));
+                    out.insert(combined)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn execute_aggregate(
+    input: &Table,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> RelResult<Table> {
+    let in_schema = input.schema();
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| in_schema.require(c))
+        .collect::<RelResult<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => in_schema.require(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<RelResult<_>>()?;
+
+    let mut cols: Vec<ColumnDef> = Vec::new();
+    for (g, idx) in group_by.iter().zip(&group_idx) {
+        let dt = in_schema
+            .column_at(*idx)
+            .map(|c| c.data_type)
+            .unwrap_or(DataType::Text);
+        cols.push(ColumnDef::new(g.clone(), dt));
+    }
+    for (a, idx) in aggregates.iter().zip(&agg_idx) {
+        let dt = match a.func {
+            AggFunc::Count => DataType::Integer,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => DataType::Float,
+            AggFunc::Min | AggFunc::Max => idx
+                .and_then(|i| in_schema.column_at(i).map(|c| c.data_type))
+                .unwrap_or(DataType::Text),
+        };
+        cols.push(ColumnDef::new(a.alias.clone(), dt));
+    }
+    let out_schema = TableSchema::new(cols)?;
+    let mut out = Table::new("aggregate", out_schema);
+
+    // Group rows.
+    let mut groups: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for row in input.rows() {
+        let key: Vec<Value> = group_idx.iter().map(|i| row[*i].clone()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    // Deterministic output order.
+    let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+    keys.sort();
+
+    for key in keys {
+        let rows = &groups[&key];
+        let mut out_row: Row = key.clone();
+        for (a, idx) in aggregates.iter().zip(&agg_idx) {
+            out_row.push(compute_aggregate(a.func, *idx, rows)?);
+        }
+        out.insert(out_row)?;
+    }
+    Ok(out)
+}
+
+fn compute_aggregate(func: AggFunc, col: Option<usize>, rows: &[&Row]) -> RelResult<Value> {
+    match func {
+        AggFunc::Count => {
+            let n = match col {
+                None => rows.len(),
+                Some(i) => rows.iter().filter(|r| !r[i].is_null()).count(),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let i = col.ok_or_else(|| RelError::Exec("MIN/MAX require a column".into()))?;
+            let mut best: Option<&Value> = None;
+            for r in rows {
+                let v = &r[i];
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = if func == AggFunc::Min { v < b } else { v > b };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.cloned().unwrap_or(Value::Null))
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let i = col.ok_or_else(|| RelError::Exec("SUM/AVG require a column".into()))?;
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for r in rows {
+                let v = &r[i];
+                if v.is_null() {
+                    continue;
+                }
+                let f = v
+                    .as_float()
+                    .ok_or_else(|| RelError::Exec(format!("non-numeric value '{v}' in SUM/AVG")))?;
+                sum += f;
+                n += 1;
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(if func == AggFunc::Sum {
+                Value::float(sum)
+            } else {
+                Value::float(sum / n as f64)
+            })
+        }
+    }
+}
+
+fn execute_sort(input: &Table, keys: &[SortKey]) -> RelResult<Table> {
+    let schema = input.schema();
+    let key_idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| schema.require(&k.column).map(|i| (i, k.ascending)))
+        .collect::<RelResult<_>>()?;
+    let mut rows: Vec<Row> = input.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for (i, asc) in &key_idx {
+            let ord = a[*i].cmp(&b[*i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = input.empty_like();
+    for row in rows {
+        out.insert(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::LogicalPlan;
+
+    fn db() -> Database {
+        let mut db = Database::new("src");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+                ColumnDef::text("name"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dbref",
+            TableSchema::of(vec![
+                ColumnDef::int("dbref_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+            ]),
+        )
+        .unwrap();
+        for (id, acc, name) in [(1, "P11111", "kinA"), (2, "P22222", "kinB"), (3, "P33333", "phoC")] {
+            db.insert(
+                "bioentry",
+                vec![Value::Int(id), Value::text(acc), Value::text(name)],
+            )
+            .unwrap();
+        }
+        for (id, be, acc) in [(10, 1, "PDB:1ABC"), (11, 1, "GO:0001"), (12, 2, "PDB:2DEF")] {
+            db.insert(
+                "dbref",
+                vec![Value::Int(id), Value::Int(be), Value::text(acc)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry").filter(Expr::col("name").like("kin%"));
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 2);
+    }
+
+    #[test]
+    fn scan_unknown_table_errors() {
+        let db = db();
+        let plan = LogicalPlan::scan("nope");
+        assert!(matches!(
+            execute(&db, &plan),
+            Err(RelError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn project_renames_and_computes() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry").project(vec![
+            (Expr::col("accession"), "acc".to_string()),
+            (
+                Expr::binary(
+                    crate::expr::BinaryOp::Add,
+                    Expr::col("bioentry_id"),
+                    Expr::lit(100i64),
+                ),
+                "shifted".to_string(),
+            ),
+        ]);
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.schema().column_names(), vec!["acc", "shifted"]);
+        assert_eq!(result.cell(0, "shifted").unwrap(), &Value::Int(101));
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry").join(
+            LogicalPlan::scan("dbref"),
+            "bioentry_id",
+            "bioentry_id",
+            "bioentry",
+            "dbref",
+        );
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 3);
+        // Clashing column names are qualified.
+        assert!(result.schema().index_of("bioentry.accession").is_some());
+        assert!(result.schema().index_of("dbref.accession").is_some());
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let db = db();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("bioentry")),
+            right: Box::new(LogicalPlan::scan("dbref")),
+            left_col: "bioentry_id".into(),
+            right_col: "bioentry_id".into(),
+            join_type: JoinType::LeftOuter,
+            left_qualifier: "bioentry".into(),
+            right_qualifier: "dbref".into(),
+        };
+        let result = execute(&db, &plan).unwrap();
+        // bioentry 3 has no dbrefs but must still appear.
+        assert_eq!(result.row_count(), 4);
+        let unmatched: Vec<_> = result
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::Int(3))
+            .collect();
+        assert_eq!(unmatched.len(), 1);
+        assert!(unmatched[0][3].is_null());
+    }
+
+    #[test]
+    fn aggregate_with_group_by() {
+        let db = db();
+        let plan = LogicalPlan::scan("dbref").aggregate(
+            vec!["bioentry_id".to_string()],
+            vec![Aggregate::count_star("n")],
+        );
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 2);
+        assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(2));
+        assert_eq!(result.cell(1, "n").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry").aggregate(
+            vec![],
+            vec![
+                Aggregate::count_star("n"),
+                Aggregate::of(AggFunc::Min, "accession", "min_acc"),
+                Aggregate::of(AggFunc::Max, "bioentry_id", "max_id"),
+                Aggregate::of(AggFunc::Avg, "bioentry_id", "avg_id"),
+                Aggregate::of(AggFunc::Sum, "bioentry_id", "sum_id"),
+            ],
+        );
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 1);
+        assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(3));
+        assert_eq!(result.cell(0, "min_acc").unwrap(), &Value::text("P11111"));
+        assert_eq!(result.cell(0, "max_id").unwrap(), &Value::Int(3));
+        assert_eq!(result.cell(0, "avg_id").unwrap(), &Value::Float(2.0));
+        assert_eq!(result.cell(0, "sum_id").unwrap(), &Value::Float(6.0));
+    }
+
+    #[test]
+    fn aggregate_on_empty_input_with_grouping_returns_no_rows() {
+        let mut db = Database::new("x");
+        db.create_table("t", TableSchema::of(vec![ColumnDef::int("a")]))
+            .unwrap();
+        let plan = LogicalPlan::scan("t").aggregate(
+            vec!["a".to_string()],
+            vec![Aggregate::count_star("n")],
+        );
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 0);
+        // Global aggregate over empty input still yields one row.
+        let plan = LogicalPlan::scan("t").aggregate(vec![], vec![Aggregate::count_star("n")]);
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 1);
+        assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry")
+            .sort(vec![SortKey {
+                column: "accession".into(),
+                ascending: false,
+            }])
+            .limit(2);
+        let result = execute(&db, &plan).unwrap();
+        assert_eq!(result.row_count(), 2);
+        assert_eq!(result.cell(0, "accession").unwrap(), &Value::text("P33333"));
+        assert_eq!(result.cell(1, "accession").unwrap(), &Value::text("P22222"));
+    }
+
+    #[test]
+    fn sum_over_text_column_errors() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry")
+            .aggregate(vec![], vec![Aggregate::of(AggFunc::Sum, "accession", "s")]);
+        assert!(execute(&db, &plan).is_err());
+    }
+}

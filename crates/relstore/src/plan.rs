@@ -1,0 +1,300 @@
+//! Logical query plans.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join: unmatched left rows padded with NULLs.
+    LeftOuter,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// COUNT(*) or COUNT(column) (non-null count).
+    Count,
+    /// Sum of numeric values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Mean of numeric values.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An aggregate expression: a function over a column (or `*` for COUNT).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The input column; `None` means `*` (only valid for COUNT).
+    pub column: Option<String>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl Aggregate {
+    /// `COUNT(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> Aggregate {
+        Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// An aggregate over a named column.
+    pub fn of(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Aggregate {
+        Aggregate {
+            func,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// A sort key: column name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortKey {
+    /// Column to sort by.
+    pub column: String,
+    /// Ascending (`true`) or descending.
+    pub ascending: bool,
+}
+
+/// A logical query plan over a [`crate::Database`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Scan a named base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate expression.
+        predicate: Expr,
+    },
+    /// Project expressions (with output names).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Equi-join two inputs on a single column pair.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join column in the left input.
+        left_col: String,
+        /// Join column in the right input.
+        right_col: String,
+        /// Join type.
+        join_type: JoinType,
+        /// Qualifier used to disambiguate clashing column names from the left.
+        left_qualifier: String,
+        /// Qualifier used to disambiguate clashing column names from the right.
+        right_qualifier: String,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns (may be empty for a global aggregate).
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggregates: Vec<Aggregate>,
+    },
+    /// Sort by one or more keys.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys in priority order.
+        keys: Vec<SortKey>,
+    },
+    /// Keep only the first `limit` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum number of rows.
+        limit: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan helper.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Wrap this plan in a filter.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wrap this plan in a projection of plain columns.
+    pub fn project_columns(self, columns: &[&str]) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs: columns
+                .iter()
+                .map(|c| (Expr::col(*c), (*c).to_string()))
+                .collect(),
+        }
+    }
+
+    /// Wrap this plan in a projection of arbitrary expressions.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Inner equi-join with another plan.
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+        left_qualifier: impl Into<String>,
+        right_qualifier: impl Into<String>,
+    ) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col: left_col.into(),
+            right_col: right_col.into(),
+            join_type: JoinType::Inner,
+            left_qualifier: left_qualifier.into(),
+            right_qualifier: right_qualifier.into(),
+        }
+    }
+
+    /// Group-by aggregation.
+    pub fn aggregate(self, group_by: Vec<String>, aggregates: Vec<Aggregate>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggregates,
+        }
+    }
+
+    /// Sort by keys.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Limit the number of rows.
+    pub fn limit(self, limit: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            limit,
+        }
+    }
+
+    /// Names of base tables referenced by the plan (depth-first, with
+    /// duplicates removed, preserving first occurrence).
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.collect_tables(&mut out);
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|t| seen.insert(t.to_ascii_lowercase()));
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LogicalPlan::Scan { table } => out.push(table),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_plans() {
+        let plan = LogicalPlan::scan("bioentry")
+            .filter(Expr::col("accession").like("P%"))
+            .project_columns(&["accession"])
+            .limit(10);
+        match &plan {
+            LogicalPlan::Limit { limit, input } => {
+                assert_eq!(*limit, 10);
+                assert!(matches!(**input, LogicalPlan::Project { .. }));
+            }
+            _ => panic!("unexpected plan shape"),
+        }
+    }
+
+    #[test]
+    fn referenced_tables_deduplicates() {
+        let plan = LogicalPlan::scan("bioentry").join(
+            LogicalPlan::scan("dbref").join(
+                LogicalPlan::scan("bioentry"),
+                "bioentry_id",
+                "bioentry_id",
+                "dbref",
+                "bioentry",
+            ),
+            "bioentry_id",
+            "bioentry_id",
+            "bioentry",
+            "dbref",
+        );
+        assert_eq!(plan.referenced_tables(), vec!["bioentry", "dbref"]);
+    }
+
+    #[test]
+    fn aggregate_helpers() {
+        let a = Aggregate::count_star("n");
+        assert_eq!(a.func, AggFunc::Count);
+        assert!(a.column.is_none());
+        let b = Aggregate::of(AggFunc::Max, "score", "max_score");
+        assert_eq!(b.column.as_deref(), Some("score"));
+        assert_eq!(AggFunc::Avg.to_string(), "AVG");
+    }
+}

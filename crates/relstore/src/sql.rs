@@ -1,0 +1,727 @@
+//! A small SQL dialect for the ALADIN "structured queries" access mode.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT <select-list>
+//! FROM <table>
+//! [JOIN <table> ON <col> = <col>]*
+//! [WHERE <predicate>]
+//! [GROUP BY <col> [, <col>]*]
+//! [ORDER BY <col> [ASC|DESC] [, ...]]
+//! [LIMIT <n>]
+//! ```
+//!
+//! The select list is `*`, a list of (possibly qualified) column names, or
+//! aggregate calls `COUNT(*)`, `COUNT(col)`, `SUM(col)`, `MIN(col)`,
+//! `MAX(col)`, `AVG(col)`, each optionally followed by `AS alias`.
+//! Predicates support comparison operators, `LIKE`, `IS [NOT] NULL`, `AND`,
+//! `OR`, `NOT` and parentheses. This intentionally covers exactly what the
+//! COLUMBA-style iterative query refinement interface needs, nothing more.
+
+use crate::error::{RelError, RelResult};
+use crate::expr::{BinaryOp, Expr};
+use crate::plan::{AggFunc, Aggregate, JoinType, LogicalPlan, SortKey};
+use crate::value::Value;
+
+/// Parse a SQL string into a logical plan.
+pub fn parse(sql: &str) -> RelResult<LogicalPlan> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let plan = p.parse_select()?;
+    if p.pos != p.tokens.len() {
+        return Err(RelError::Parse(format!(
+            "unexpected trailing input at token '{}'",
+            p.peek_text()
+        )));
+    }
+    Ok(plan)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(char),
+    // Two-character operators.
+    Ne,
+    Le,
+    Ge,
+}
+
+fn tokenize(input: &str) -> RelResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            let mut closed = false;
+            while i < chars.len() {
+                if chars[i] == '\'' {
+                    // doubled quote = escaped quote
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            if !closed {
+                return Err(RelError::Parse("unterminated string literal".into()));
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit() && starts_value(&out))
+        {
+            let mut s = String::new();
+            s.push(c);
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Token::Number(s));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Token::Ident(s));
+            continue;
+        }
+        match c {
+            '<' if i + 1 < chars.len() && chars[i + 1] == '>' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                out.push(Token::Le);
+                i += 2;
+            }
+            '>' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                out.push(Token::Ge);
+                i += 2;
+            }
+            '(' | ')' | ',' | '*' | '=' | '<' | '>' | '+' | '-' | '/' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            other => {
+                return Err(RelError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Heuristic: a '-' starts a negative number literal only if the previous
+/// token cannot end a value expression.
+fn starts_value(tokens: &[Token]) -> bool {
+    !matches!(
+        tokens.last(),
+        Some(Token::Ident(_)) | Some(Token::Number(_)) | Some(Token::Str(_)) | Some(Token::Symbol(')'))
+    )
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    Star,
+    Column(String, Option<String>),
+    Aggregate(Aggregate),
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_text(&self) -> String {
+        match self.peek() {
+            Some(Token::Ident(s)) => s.clone(),
+            Some(Token::Number(s)) => s.clone(),
+            Some(Token::Str(s)) => format!("'{s}'"),
+            Some(Token::Symbol(c)) => c.to_string(),
+            Some(Token::Ne) => "<>".into(),
+            Some(Token::Le) => "<=".into(),
+            Some(Token::Ge) => ">=".into(),
+            None => "<end of input>".into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> RelResult<()> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!(
+                "expected '{kw}', found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn accept_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> RelResult<()> {
+        if self.accept_symbol(c) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!(
+                "expected '{c}', found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> RelResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RelError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_select(&mut self) -> RelResult<LogicalPlan> {
+        self.expect_keyword("SELECT")?;
+        let items = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let base_table = self.expect_ident()?;
+        let mut plan = LogicalPlan::scan(base_table.clone());
+        let mut last_table = base_table;
+
+        while self.accept_keyword("JOIN") {
+            let right_table = self.expect_ident()?;
+            self.expect_keyword("ON")?;
+            let left_col = self.expect_ident()?;
+            self.expect_symbol('=')?;
+            let right_col = self.expect_ident()?;
+            // Columns may be written on either side of `=`; associate them by
+            // qualifier when present, otherwise assume left-to-right order.
+            let (lc, rc) = orient_join_columns(&left_col, &right_col, &last_table, &right_table);
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::scan(right_table.clone())),
+                left_col: lc,
+                right_col: rc,
+                join_type: JoinType::Inner,
+                left_qualifier: last_table.clone(),
+                right_qualifier: right_table.clone(),
+            };
+            last_table = right_table;
+        }
+
+        if self.accept_keyword("WHERE") {
+            let predicate = self.parse_expr()?;
+            plan = plan.filter(predicate);
+        }
+
+        let mut group_by: Vec<String> = Vec::new();
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expect_ident()?);
+                if !self.accept_symbol(',') {
+                    break;
+                }
+            }
+        }
+
+        // Build projection / aggregation from the select list.
+        let has_aggregates = items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate(_)));
+        if has_aggregates || !group_by.is_empty() {
+            let mut aggregates = Vec::new();
+            for item in &items {
+                match item {
+                    SelectItem::Aggregate(a) => aggregates.push(a.clone()),
+                    SelectItem::Column(name, _) => {
+                        if !group_by.iter().any(|g| g.eq_ignore_ascii_case(name)) {
+                            return Err(RelError::Parse(format!(
+                                "column '{name}' must appear in GROUP BY"
+                            )));
+                        }
+                    }
+                    SelectItem::Star => {
+                        return Err(RelError::Parse(
+                            "'*' cannot be combined with aggregates".into(),
+                        ))
+                    }
+                }
+            }
+            plan = plan.aggregate(group_by, aggregates);
+        } else if !(items.len() == 1 && matches!(items[0], SelectItem::Star)) {
+            let exprs: Vec<(Expr, String)> = items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(name, alias) => (
+                        Expr::col(name.clone()),
+                        alias.clone().unwrap_or_else(|| name.clone()),
+                    ),
+                    _ => unreachable!("star/aggregate handled above"),
+                })
+                .collect();
+            plan = plan.project(exprs);
+        }
+
+        if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = Vec::new();
+            loop {
+                let column = self.expect_ident()?;
+                let ascending = if self.accept_keyword("DESC") {
+                    false
+                } else {
+                    self.accept_keyword("ASC");
+                    true
+                };
+                keys.push(SortKey { column, ascending });
+                if !self.accept_symbol(',') {
+                    break;
+                }
+            }
+            plan = plan.sort(keys);
+        }
+
+        if self.accept_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n)) => {
+                    let limit: usize = n
+                        .parse()
+                        .map_err(|_| RelError::Parse(format!("invalid LIMIT '{n}'")))?;
+                    plan = plan.limit(limit);
+                }
+                other => {
+                    return Err(RelError::Parse(format!(
+                        "expected number after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        }
+
+        Ok(plan)
+    }
+
+    fn parse_select_list(&mut self) -> RelResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.accept_symbol(',') {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> RelResult<SelectItem> {
+        if self.accept_symbol('*') {
+            return Ok(SelectItem::Star);
+        }
+        let ident = self.expect_ident()?;
+        let func = match ident.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = func {
+            if self.accept_symbol('(') {
+                let column = if self.accept_symbol('*') {
+                    if func != AggFunc::Count {
+                        return Err(RelError::Parse(format!("{func}(*) is not supported")));
+                    }
+                    None
+                } else {
+                    Some(self.expect_ident()?)
+                };
+                self.expect_symbol(')')?;
+                let default_alias = match &column {
+                    Some(c) => format!("{}({})", func, c).to_lowercase(),
+                    None => format!("{func}(*)").to_lowercase(),
+                };
+                let alias = if self.accept_keyword("AS") {
+                    self.expect_ident()?
+                } else {
+                    default_alias
+                };
+                return Ok(SelectItem::Aggregate(Aggregate {
+                    func,
+                    column,
+                    alias,
+                }));
+            }
+        }
+        let alias = if self.accept_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Column(ident, alias))
+    }
+
+    // Expression grammar: or_expr := and_expr (OR and_expr)*
+    fn parse_expr(&mut self) -> RelResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> RelResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> RelResult<Expr> {
+        if self.accept_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> RelResult<Expr> {
+        let left = self.parse_term()?;
+        if self.accept_keyword("IS") {
+            let negated = self.accept_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(if negated {
+                Expr::IsNotNull(Box::new(left))
+            } else {
+                Expr::IsNull(Box::new(left))
+            });
+        }
+        if self.accept_keyword("LIKE") {
+            let right = self.parse_term()?;
+            return Ok(Expr::binary(BinaryOp::Like, left, right));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol('=')) => Some(BinaryOp::Eq),
+            Some(Token::Ne) => Some(BinaryOp::Ne),
+            Some(Token::Symbol('<')) => Some(BinaryOp::Lt),
+            Some(Token::Symbol('>')) => Some(BinaryOp::Gt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_term()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> RelResult<Expr> {
+        if self.accept_symbol('(') {
+            let e = self.parse_expr()?;
+            self.expect_symbol(')')?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Token::Ident(s)) => {
+                if s.eq_ignore_ascii_case("NULL") {
+                    Ok(Expr::lit(Value::Null))
+                } else if s.eq_ignore_ascii_case("TRUE") {
+                    Ok(Expr::lit(true))
+                } else if s.eq_ignore_ascii_case("FALSE") {
+                    Ok(Expr::lit(false))
+                } else {
+                    Ok(Expr::col(s))
+                }
+            }
+            Some(Token::Number(n)) => {
+                if n.contains('.') {
+                    let f: f64 = n
+                        .parse()
+                        .map_err(|_| RelError::Parse(format!("invalid number '{n}'")))?;
+                    Ok(Expr::lit(f))
+                } else {
+                    let i: i64 = n
+                        .parse()
+                        .map_err(|_| RelError::Parse(format!("invalid number '{n}'")))?;
+                    Ok(Expr::lit(i))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Expr::lit(Value::text(s))),
+            other => Err(RelError::Parse(format!(
+                "expected a term, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Decide which side of `a = b` in a JOIN ... ON clause belongs to the left
+/// (already joined) plan and which to the newly joined right table, using the
+/// qualifiers when given.
+fn orient_join_columns(
+    a: &str,
+    b: &str,
+    _left_table: &str,
+    right_table: &str,
+) -> (String, String) {
+    let belongs_right = |col: &str| {
+        col.split('.')
+            .next()
+            .is_some_and(|q| q.eq_ignore_ascii_case(right_table))
+    };
+    if belongs_right(a) && !belongs_right(b) {
+        (strip_qualifier(b), strip_qualifier(a))
+    } else {
+        (strip_qualifier(a), strip_qualifier(b))
+    }
+}
+
+/// Remove a leading `table.` qualifier; the executor resolves unqualified
+/// suffixes and qualifies clashing names itself.
+fn strip_qualifier(col: &str) -> String {
+    match col.split_once('.') {
+        Some((_, c)) => c.to_string(),
+        None => col.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::exec::execute;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("src");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+                ColumnDef::text("name"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dbref",
+            TableSchema::of(vec![
+                ColumnDef::int("dbref_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("target"),
+            ]),
+        )
+        .unwrap();
+        for (id, acc, name) in [(1, "P11111", "kinA"), (2, "P22222", "kinB"), (3, "Q33333", "phoC")] {
+            db.insert(
+                "bioentry",
+                vec![Value::Int(id), Value::text(acc), Value::text(name)],
+            )
+            .unwrap();
+        }
+        for (id, be, tgt) in [(10, 1, "PDB:1ABC"), (11, 2, "PDB:2DEF"), (12, 2, "GO:0005")] {
+            db.insert(
+                "dbref",
+                vec![Value::Int(id), Value::Int(be), Value::text(tgt)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star() {
+        let db = db();
+        let plan = parse("SELECT * FROM bioentry").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.schema().arity(), 3);
+    }
+
+    #[test]
+    fn select_columns_with_where_and_like() {
+        let db = db();
+        let plan = parse("SELECT accession FROM bioentry WHERE accession LIKE 'P%'").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.schema().column_names(), vec!["accession"]);
+    }
+
+    #[test]
+    fn where_with_and_or_not_parens() {
+        let db = db();
+        let plan = parse(
+            "SELECT * FROM bioentry WHERE (accession LIKE 'P%' AND NOT name = 'kinA') OR bioentry_id = 3",
+        )
+        .unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn join_on_qualified_columns() {
+        let db = db();
+        let plan = parse(
+            "SELECT name, target FROM bioentry JOIN dbref ON bioentry.bioentry_id = dbref.bioentry_id WHERE target LIKE 'PDB%'",
+        )
+        .unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.schema().column_names(), vec!["name", "target"]);
+    }
+
+    #[test]
+    fn join_with_reversed_on_order() {
+        let db = db();
+        let plan = parse(
+            "SELECT name FROM bioentry JOIN dbref ON dbref.bioentry_id = bioentry.bioentry_id",
+        )
+        .unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn group_by_and_aggregates() {
+        let db = db();
+        let plan = parse(
+            "SELECT bioentry_id, COUNT(*) AS n FROM dbref GROUP BY bioentry_id ORDER BY n DESC",
+        )
+        .unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.cell(0, "n").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let db = db();
+        let plan = parse("SELECT COUNT(*) AS n, MAX(accession) AS m FROM bioentry").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.cell(0, "n").unwrap(), &Value::Int(3));
+        assert_eq!(r.cell(0, "m").unwrap(), &Value::text("Q33333"));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = db();
+        let plan = parse("SELECT accession FROM bioentry ORDER BY accession DESC LIMIT 1").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.cell(0, "accession").unwrap(), &Value::text("Q33333"));
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let mut db = db();
+        db.insert("bioentry", vec![Value::Int(4), Value::text("X1"), Value::Null])
+            .unwrap();
+        let plan = parse("SELECT * FROM bioentry WHERE name IS NULL").unwrap();
+        assert_eq!(execute(&db, &plan).unwrap().row_count(), 1);
+        let plan = parse("SELECT * FROM bioentry WHERE name IS NOT NULL").unwrap();
+        assert_eq!(execute(&db, &plan).unwrap().row_count(), 3);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let plan = parse("SELECT * FROM t WHERE name = 'it''s'").unwrap();
+        match plan {
+            LogicalPlan::Filter { predicate, .. } => {
+                assert!(predicate.to_string().contains("it's"));
+            }
+            _ => panic!("expected filter"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT abc").is_err());
+        assert!(parse("SELECT * FROM t extra garbage").is_err());
+        assert!(parse("SELECT * FROM t WHERE name = 'unterminated").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT name, COUNT(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_floats() {
+        let db = {
+            let mut db = Database::new("x");
+            db.create_table(
+                "m",
+                TableSchema::of(vec![ColumnDef::int("v"), ColumnDef::float("s")]),
+            )
+            .unwrap();
+            db.insert("m", vec![Value::Int(-5), Value::Float(0.25)]).unwrap();
+            db.insert("m", vec![Value::Int(5), Value::Float(0.75)]).unwrap();
+            db
+        };
+        let plan = parse("SELECT * FROM m WHERE v < -1").unwrap();
+        assert_eq!(execute(&db, &plan).unwrap().row_count(), 1);
+        let plan = parse("SELECT * FROM m WHERE s >= 0.5").unwrap();
+        assert_eq!(execute(&db, &plan).unwrap().row_count(), 1);
+    }
+}

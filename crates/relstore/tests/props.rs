@@ -1,0 +1,96 @@
+//! Property-based tests for the relational substrate.
+
+use aladin_relstore::expr::like_match;
+use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::float),
+        "[a-zA-Z0-9_:;. -]{0,24}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    /// The value ordering is a total order: antisymmetric and transitive on
+    /// sampled triples, and equal values hash equally.
+    #[test]
+    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// `Value::infer` round-trips through rendering: inferring the rendered
+    /// form of an inferred value is idempotent.
+    #[test]
+    fn infer_is_idempotent(raw in "[ -~]{0,24}") {
+        let first = Value::infer(&raw);
+        let second = Value::infer(&first.render());
+        prop_assert_eq!(first, second);
+    }
+
+    /// LIKE with a '%'-wrapped literal pattern behaves like substring search
+    /// for patterns without wildcard characters.
+    #[test]
+    fn like_percent_wrapping_is_contains(text in "[a-z0-9 ]{0,20}", needle in "[a-z0-9]{1,5}") {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&text, &pattern), text.contains(&needle));
+    }
+
+    /// Inserting N well-typed rows yields a table with N rows, uniqueness of a
+    /// strictly increasing key column always holds, and a SQL count agrees.
+    #[test]
+    fn insert_scan_count_agree(n in 1usize..40) {
+        let mut db = Database::new("prop");
+        db.create_table(
+            "t",
+            TableSchema::of(vec![ColumnDef::int("id"), ColumnDef::text("label")]),
+        )
+        .unwrap();
+        for i in 0..n {
+            db.insert("t", vec![Value::Int(i as i64), Value::text(format!("row{i}"))]).unwrap();
+        }
+        let table = db.table("t").unwrap();
+        prop_assert_eq!(table.row_count(), n);
+        prop_assert!(table.column_is_unique("id").unwrap());
+        let plan = aladin_relstore::sql::parse("SELECT COUNT(*) AS n FROM t").unwrap();
+        let result = aladin_relstore::exec::execute(&db, &plan).unwrap();
+        prop_assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(n as i64));
+    }
+
+    /// Filters partition a table: matching + non-matching row counts add up.
+    #[test]
+    fn filter_partitions_rows(threshold in 0i64..50, n in 1usize..50) {
+        let mut db = Database::new("prop");
+        db.create_table("t", TableSchema::of(vec![ColumnDef::int("v")])).unwrap();
+        for i in 0..n {
+            db.insert("t", vec![Value::Int(i as i64)]).unwrap();
+        }
+        let below = aladin_relstore::exec::execute(
+            &db,
+            &aladin_relstore::sql::parse(&format!("SELECT * FROM t WHERE v < {threshold}")).unwrap(),
+        )
+        .unwrap();
+        let at_or_above = aladin_relstore::exec::execute(
+            &db,
+            &aladin_relstore::sql::parse(&format!("SELECT * FROM t WHERE v >= {threshold}")).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(below.row_count() + at_or_above.row_count(), n);
+    }
+}

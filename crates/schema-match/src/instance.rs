@@ -1,0 +1,262 @@
+//! Instance-based attribute matching across data sources.
+//!
+//! Two attributes from different sources "correspond" when their value sets
+//! overlap substantially — the signal cross-reference discovery is built on —
+//! or when their value *patterns* (length, character composition) are very
+//! similar, which is useful when value sets are disjoint by construction
+//! (e.g. two sources' own accession columns).
+
+use aladin_relstore::{RelResult, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A match between an attribute of one table and an attribute of another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeMatch {
+    /// Left table name.
+    pub left_table: String,
+    /// Left column name.
+    pub left_column: String,
+    /// Right table name.
+    pub right_table: String,
+    /// Right column name.
+    pub right_column: String,
+    /// Fraction of distinct left values that also occur on the right.
+    pub overlap_left: f64,
+    /// Fraction of distinct right values that also occur on the left.
+    pub overlap_right: f64,
+    /// Number of shared distinct values.
+    pub shared_values: usize,
+}
+
+impl AttributeMatch {
+    /// A combined score: the harmonic mean of the two directional overlaps
+    /// (0 when either is 0).
+    pub fn score(&self) -> f64 {
+        if self.overlap_left == 0.0 || self.overlap_right == 0.0 {
+            0.0
+        } else {
+            2.0 * self.overlap_left * self.overlap_right
+                / (self.overlap_left + self.overlap_right)
+        }
+    }
+}
+
+/// Compute value-overlap matches between all column pairs of two tables.
+///
+/// Values are compared by their rendered text so that surrogate-key integers
+/// in one source can match textual keys in another. Matches with no shared
+/// values are not reported. `min_overlap` filters by the maximum of the two
+/// directional overlaps.
+pub fn match_attributes(
+    left: &Table,
+    right: &Table,
+    min_overlap: f64,
+) -> RelResult<Vec<AttributeMatch>> {
+    let mut out = Vec::new();
+    // Pre-render distinct values per column.
+    let left_sets = rendered_sets(left)?;
+    let right_sets = rendered_sets(right)?;
+    for (lc, lset) in &left_sets {
+        if lset.is_empty() {
+            continue;
+        }
+        for (rc, rset) in &right_sets {
+            if rset.is_empty() {
+                continue;
+            }
+            let shared = lset.intersection(rset).count();
+            if shared == 0 {
+                continue;
+            }
+            let overlap_left = shared as f64 / lset.len() as f64;
+            let overlap_right = shared as f64 / rset.len() as f64;
+            if overlap_left.max(overlap_right) >= min_overlap {
+                out.push(AttributeMatch {
+                    left_table: left.name().to_string(),
+                    left_column: lc.clone(),
+                    right_table: right.name().to_string(),
+                    right_column: rc.clone(),
+                    overlap_left,
+                    overlap_right,
+                    shared_values: shared,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+fn rendered_sets(table: &Table) -> RelResult<Vec<(String, HashSet<String>)>> {
+    table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| {
+            let set: HashSet<String> = table
+                .distinct_values(&c.name)?
+                .into_iter()
+                .map(|v| v.render())
+                .collect();
+            Ok((c.name.clone(), set))
+        })
+        .collect()
+}
+
+/// A lightweight "pattern profile" of an attribute: average length and
+/// character-class fractions, comparable across sources without sharing any
+/// values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternProfile {
+    /// Mean value length.
+    pub avg_len: f64,
+    /// Fraction of values containing a digit.
+    pub digit_fraction: f64,
+    /// Fraction of values containing a letter.
+    pub letter_fraction: f64,
+    /// Fraction of values containing punctuation or whitespace.
+    pub other_fraction: f64,
+}
+
+impl PatternProfile {
+    /// Profile the non-null values of one column.
+    pub fn of(table: &Table, column: &str) -> RelResult<PatternProfile> {
+        let values = table.distinct_values(column)?;
+        let n = values.len().max(1) as f64;
+        let mut total_len = 0usize;
+        let mut digits = 0usize;
+        let mut letters = 0usize;
+        let mut other = 0usize;
+        for v in &values {
+            let s = v.render();
+            total_len += s.chars().count();
+            if s.chars().any(|c| c.is_ascii_digit()) {
+                digits += 1;
+            }
+            if s.chars().any(|c| c.is_ascii_alphabetic()) {
+                letters += 1;
+            }
+            if s.chars().any(|c| !c.is_ascii_alphanumeric()) {
+                other += 1;
+            }
+        }
+        Ok(PatternProfile {
+            avg_len: total_len as f64 / n,
+            digit_fraction: digits as f64 / n,
+            letter_fraction: letters as f64 / n,
+            other_fraction: other as f64 / n,
+        })
+    }
+
+    /// Similarity of two profiles in `[0, 1]`.
+    pub fn similarity(&self, other: &PatternProfile) -> f64 {
+        let len_sim = 1.0
+            - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
+        let digit_sim = 1.0 - (self.digit_fraction - other.digit_fraction).abs();
+        let letter_sim = 1.0 - (self.letter_fraction - other.letter_fraction).abs();
+        let other_sim = 1.0 - (self.other_fraction - other.other_fraction).abs();
+        (len_sim + digit_sim + letter_sim + other_sim) / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_relstore::{ColumnDef, TableSchema, Value};
+
+    fn protein_table() -> Table {
+        let mut t = Table::new(
+            "protkb_entry",
+            TableSchema::of(vec![ColumnDef::int("entry_id"), ColumnDef::text("ac")]),
+        );
+        for (i, acc) in ["P10000", "P10001", "P10002", "P10003"].iter().enumerate() {
+            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)]).unwrap();
+        }
+        t
+    }
+
+    fn xref_table() -> Table {
+        let mut t = Table::new(
+            "dbxrefs",
+            TableSchema::of(vec![
+                ColumnDef::int("dbxref_id"),
+                ColumnDef::text("db_accession"),
+            ]),
+        );
+        for (i, acc) in ["P10000", "P10002", "Q99999"].iter().enumerate() {
+            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn value_overlap_finds_cross_reference_columns() {
+        let matches = match_attributes(&xref_table(), &protein_table(), 0.3).unwrap();
+        assert!(!matches.is_empty());
+        let xref_match = matches
+            .iter()
+            .find(|m| m.left_column == "db_accession" && m.right_column == "ac")
+            .expect("cross-reference column should match the accession column");
+        assert_eq!(xref_match.shared_values, 2);
+        assert!((xref_match.overlap_left - 2.0 / 3.0).abs() < 1e-9);
+        assert!((xref_match.overlap_right - 0.5).abs() < 1e-9);
+        assert!(xref_match.score() > 0.5);
+        // Results are sorted by score, best first.
+        for w in matches.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+    }
+
+    #[test]
+    fn surrogate_ids_match_loosely_by_rendered_value() {
+        // dbxref_id 1..3 overlaps entry_id 1..4 in rendered form.
+        let matches = match_attributes(&xref_table(), &protein_table(), 0.5).unwrap();
+        assert!(matches
+            .iter()
+            .any(|m| m.left_column == "dbxref_id" && m.right_column == "entry_id"));
+    }
+
+    #[test]
+    fn min_overlap_filters_weak_matches() {
+        let strict = match_attributes(&xref_table(), &protein_table(), 0.95).unwrap();
+        assert!(strict
+            .iter()
+            .all(|m| m.overlap_left >= 0.95 || m.overlap_right >= 0.95));
+    }
+
+    #[test]
+    fn disjoint_columns_are_not_reported() {
+        let mut other = Table::new(
+            "terms",
+            TableSchema::of(vec![ColumnDef::text("term_id")]),
+        );
+        other.insert(vec![Value::text("GO:0000001")]).unwrap();
+        let matches = match_attributes(&other, &protein_table(), 0.0).unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn pattern_profiles_distinguish_accessions_from_text() {
+        let prot = protein_table();
+        let profile_acc = PatternProfile::of(&prot, "ac").unwrap();
+        let mut text_table = Table::new(
+            "descr",
+            TableSchema::of(vec![ColumnDef::text("description")]),
+        );
+        text_table
+            .insert(vec![Value::text("a serine kinase involved in signalling")])
+            .unwrap();
+        let profile_text = PatternProfile::of(&text_table, "description").unwrap();
+        let xr = xref_table();
+        let profile_xref_acc = PatternProfile::of(&xr, "db_accession").unwrap();
+        assert!(
+            profile_acc.similarity(&profile_xref_acc) > profile_acc.similarity(&profile_text)
+        );
+        assert!(profile_acc.similarity(&profile_acc) > 0.999);
+    }
+}

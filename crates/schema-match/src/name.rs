@@ -1,0 +1,111 @@
+//! Name-based attribute matching (the schema-level baseline).
+//!
+//! Mediator-style systems map schemas by comparing element *names*; ALADIN
+//! deliberately avoids relying on this because life-science schemas are poorly
+//! and inconsistently named. The matcher is included so the experiments can
+//! quantify that contrast, and because the paper notes name evidence ("schema
+//! elements containing the substring 'ID'") can assist multi-primary
+//! detection.
+
+use aladin_textmine::distance::jaro_winkler;
+use aladin_textmine::tokenize::tokenize;
+use serde::{Deserialize, Serialize};
+
+/// A name-level correspondence between two attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameMatch {
+    /// Left attribute (table.column).
+    pub left: String,
+    /// Right attribute (table.column).
+    pub right: String,
+    /// Similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Similarity of two attribute names: the maximum of Jaro-Winkler over the
+/// raw names and token-set overlap over underscore/camel-case tokens.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let direct = jaro_winkler(&a.to_ascii_lowercase(), &b.to_ascii_lowercase());
+    let ta = tokenize(&split_camel(a));
+    let tb = tokenize(&split_camel(b));
+    let token = aladin_textmine::distance::jaccard(&ta, &tb);
+    direct.max(token)
+}
+
+fn split_camel(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    let mut prev_lower = false;
+    for c in s.chars() {
+        if c.is_uppercase() && prev_lower {
+            out.push(' ');
+        }
+        prev_lower = c.is_lowercase();
+        out.push(c);
+    }
+    out
+}
+
+/// Match two lists of qualified attribute names (`table.column`), returning
+/// all pairs with similarity at least `threshold`, best first.
+pub fn match_names(left: &[String], right: &[String], threshold: f64) -> Vec<NameMatch> {
+    let column_of = |q: &str| q.rsplit('.').next().unwrap_or(q).to_string();
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            let score = name_similarity(&column_of(l), &column_of(r));
+            if score >= threshold {
+                out.push(NameMatch {
+                    left: l.clone(),
+                    right: r.clone(),
+                    score,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_names_score_one() {
+        assert!((name_similarity("accession", "accession") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn related_names_score_high_unrelated_low() {
+        assert!(name_similarity("accession", "db_accession") > 0.5);
+        assert!(name_similarity("gene_id", "GeneId") > 0.8);
+        assert!(name_similarity("accession", "resolution") < 0.8);
+        assert!(
+            name_similarity("accession", "db_accession")
+                > name_similarity("accession", "description")
+        );
+    }
+
+    #[test]
+    fn match_names_filters_and_sorts() {
+        let left = vec!["bioentry.accession".to_string(), "bioentry.taxon_id".to_string()];
+        let right = vec![
+            "dbxrefs.db_accession".to_string(),
+            "taxa.taxid".to_string(),
+            "structures.resolution".to_string(),
+        ];
+        let matches = match_names(&left, &right, 0.6);
+        assert!(!matches.is_empty());
+        assert_eq!(matches[0].left, "bioentry.accession");
+        for w in matches.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(matches.iter().all(|m| m.score >= 0.6));
+    }
+
+    #[test]
+    fn camel_case_splitting() {
+        assert_eq!(split_camel("GeneId"), "Gene Id");
+        assert_eq!(split_camel("already_snake"), "already_snake");
+    }
+}

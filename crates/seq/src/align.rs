@@ -1,0 +1,226 @@
+//! Smith-Waterman local alignment.
+
+use crate::score::ScoringScheme;
+use serde::{Deserialize, Serialize};
+
+/// The result of a local alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Alignment score under the scoring scheme.
+    pub score: i32,
+    /// Start offset (0-based) of the aligned region in the query.
+    pub query_start: usize,
+    /// End offset (exclusive) of the aligned region in the query.
+    pub query_end: usize,
+    /// Start offset (0-based) of the aligned region in the subject.
+    pub subject_start: usize,
+    /// End offset (exclusive) of the aligned region in the subject.
+    pub subject_end: usize,
+    /// Number of aligned positions with identical residues.
+    pub identities: usize,
+    /// Total number of aligned columns (including gaps).
+    pub alignment_length: usize,
+}
+
+impl Alignment {
+    /// Fraction of identical positions over the alignment length, in `[0,1]`.
+    pub fn identity(&self) -> f64 {
+        if self.alignment_length == 0 {
+            0.0
+        } else {
+            self.identities as f64 / self.alignment_length as f64
+        }
+    }
+
+    /// An empty (score 0) alignment.
+    pub fn empty() -> Alignment {
+        Alignment {
+            score: 0,
+            query_start: 0,
+            query_end: 0,
+            subject_start: 0,
+            subject_end: 0,
+            identities: 0,
+            alignment_length: 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trace {
+    Stop,
+    Diagonal,
+    Up,
+    Left,
+}
+
+/// Smith-Waterman local alignment of `query` against `subject`.
+///
+/// Runs in O(|query| · |subject|) time and memory (the traceback matrix is
+/// kept); sequences are expected to be normalized (uppercase, no whitespace).
+pub fn local_align(query: &str, subject: &str, scheme: &ScoringScheme) -> Alignment {
+    let q = query.as_bytes();
+    let s = subject.as_bytes();
+    if q.is_empty() || s.is_empty() {
+        return Alignment::empty();
+    }
+    let rows = q.len() + 1;
+    let cols = s.len() + 1;
+    let mut score = vec![0i32; rows * cols];
+    let mut trace = vec![Trace::Stop; rows * cols];
+    let mut best = 0i32;
+    let mut best_pos = (0usize, 0usize);
+
+    for i in 1..rows {
+        for j in 1..cols {
+            let diag = score[(i - 1) * cols + (j - 1)] + scheme.substitution(q[i - 1], s[j - 1]);
+            let up = score[(i - 1) * cols + j] + scheme.gap_penalty;
+            let left = score[i * cols + (j - 1)] + scheme.gap_penalty;
+            let (v, t) = {
+                let mut v = 0;
+                let mut t = Trace::Stop;
+                if diag > v {
+                    v = diag;
+                    t = Trace::Diagonal;
+                }
+                if up > v {
+                    v = up;
+                    t = Trace::Up;
+                }
+                if left > v {
+                    v = left;
+                    t = Trace::Left;
+                }
+                (v, t)
+            };
+            score[i * cols + j] = v;
+            trace[i * cols + j] = t;
+            if v > best {
+                best = v;
+                best_pos = (i, j);
+            }
+        }
+    }
+
+    if best == 0 {
+        return Alignment::empty();
+    }
+
+    // Traceback.
+    let (mut i, mut j) = best_pos;
+    let (end_i, end_j) = best_pos;
+    let mut identities = 0usize;
+    let mut length = 0usize;
+    while i > 0 && j > 0 {
+        match trace[i * cols + j] {
+            Trace::Stop => break,
+            Trace::Diagonal => {
+                if q[i - 1] == s[j - 1] {
+                    identities += 1;
+                }
+                length += 1;
+                i -= 1;
+                j -= 1;
+            }
+            Trace::Up => {
+                length += 1;
+                i -= 1;
+            }
+            Trace::Left => {
+                length += 1;
+                j -= 1;
+            }
+        }
+    }
+
+    Alignment {
+        score: best,
+        query_start: i,
+        query_end: end_i,
+        subject_start: j,
+        subject_end: end_j,
+        identities,
+        alignment_length: length,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_align_fully() {
+        let scheme = ScoringScheme::nucleotide();
+        let a = local_align("ACGTACGT", "ACGTACGT", &scheme);
+        assert_eq!(a.score, 16);
+        assert_eq!(a.identities, 8);
+        assert_eq!(a.alignment_length, 8);
+        assert_eq!(a.identity(), 1.0);
+        assert_eq!(a.query_start, 0);
+        assert_eq!(a.query_end, 8);
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_region() {
+        let scheme = ScoringScheme::nucleotide();
+        let a = local_align("TTTTACGTACGTTTTT", "ACGTACGT", &scheme);
+        assert_eq!(a.identities, 8);
+        assert_eq!(a.query_start, 4);
+        assert_eq!(a.query_end, 12);
+        assert_eq!(a.subject_start, 0);
+        assert_eq!(a.subject_end, 8);
+    }
+
+    #[test]
+    fn mismatches_reduce_score_but_keep_alignment() {
+        let scheme = ScoringScheme::nucleotide();
+        let perfect = local_align("ACGTACGTACGT", "ACGTACGTACGT", &scheme);
+        let mutated = local_align("ACGTACGTACGT", "ACGTACCTACGT", &scheme);
+        assert!(mutated.score < perfect.score);
+        assert!(mutated.identity() > 0.8);
+    }
+
+    #[test]
+    fn gaps_are_introduced_when_profitable() {
+        let scheme = ScoringScheme::nucleotide();
+        let a = local_align("ACGTTTACGT", "ACGTACGT", &scheme);
+        // 8 matches, 2 gap positions: 8*2 - 2*2 = 12
+        assert_eq!(a.score, 12);
+        assert_eq!(a.identities, 8);
+        assert_eq!(a.alignment_length, 10);
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        let scheme = ScoringScheme::nucleotide();
+        let a = local_align("AAAAAAAA", "CCCCCCCC", &scheme);
+        assert_eq!(a.score, 0);
+        assert_eq!(a.alignment_length, 0);
+        assert_eq!(a.identity(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_alignment() {
+        let scheme = ScoringScheme::nucleotide();
+        assert_eq!(local_align("", "ACGT", &scheme), Alignment::empty());
+        assert_eq!(local_align("ACGT", "", &scheme), Alignment::empty());
+    }
+
+    #[test]
+    fn protein_alignment_uses_matrix() {
+        let scheme = ScoringScheme::protein();
+        // Conservative substitution (L→I) should still align well.
+        let a = local_align("MKTLYIAKQR", "MKTIYIAKQR", &scheme);
+        assert!(a.identity() >= 0.9);
+        assert!(a.score > 30);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score() {
+        let scheme = ScoringScheme::nucleotide();
+        let ab = local_align("ACGGTTAACC", "ACGTTAACGG", &scheme);
+        let ba = local_align("ACGTTAACGG", "ACGGTTAACC", &scheme);
+        assert_eq!(ab.score, ba.score);
+        assert_eq!(ab.identities, ba.identities);
+    }
+}

@@ -1,0 +1,154 @@
+//! K-mer indexing of sequence collections (the seeding stage of homology
+//! search).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An index from k-mers to the sequences (and offsets) containing them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmerIndex {
+    k: usize,
+    /// k-mer → list of (sequence ordinal, offset)
+    postings: HashMap<String, Vec<(usize, usize)>>,
+    /// Registered sequence ids, by ordinal.
+    ids: Vec<String>,
+    /// Registered sequence lengths, by ordinal.
+    lengths: Vec<usize>,
+}
+
+impl KmerIndex {
+    /// Create an empty index with word size `k` (clamped to at least 2).
+    pub fn new(k: usize) -> KmerIndex {
+        KmerIndex {
+            k: k.max(2),
+            postings: HashMap::new(),
+            ids: Vec::new(),
+            lengths: Vec::new(),
+        }
+    }
+
+    /// The word size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed sequences.
+    pub fn sequence_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of distinct k-mers.
+    pub fn kmer_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The id of a sequence by ordinal.
+    pub fn sequence_id(&self, ordinal: usize) -> Option<&str> {
+        self.ids.get(ordinal).map(String::as_str)
+    }
+
+    /// The length of a sequence by ordinal.
+    pub fn sequence_length(&self, ordinal: usize) -> Option<usize> {
+        self.lengths.get(ordinal).copied()
+    }
+
+    /// Add a sequence under an identifier; returns its ordinal. Sequences
+    /// shorter than `k` are registered but contribute no k-mers.
+    pub fn add_sequence(&mut self, id: impl Into<String>, sequence: &str) -> usize {
+        let ordinal = self.ids.len();
+        self.ids.push(id.into());
+        self.lengths.push(sequence.len());
+        let bytes = sequence.as_bytes();
+        if bytes.len() >= self.k {
+            for offset in 0..=bytes.len() - self.k {
+                let kmer = sequence[offset..offset + self.k].to_string();
+                self.postings.entry(kmer).or_default().push((ordinal, offset));
+            }
+        }
+        ordinal
+    }
+
+    /// All postings of a k-mer: `(sequence ordinal, offset)` pairs.
+    pub fn lookup(&self, kmer: &str) -> &[(usize, usize)] {
+        self.postings.get(kmer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Count the number of shared k-mer seeds between the query and every
+    /// indexed sequence; returns `(ordinal, seed count)` sorted by descending
+    /// count. This is the candidate-selection step of seeded homology search.
+    pub fn seed_counts(&self, query: &str) -> Vec<(usize, usize)> {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        let bytes = query.as_bytes();
+        if bytes.len() >= self.k {
+            for offset in 0..=bytes.len() - self.k {
+                let kmer = &query[offset..offset + self.k];
+                if let Some(postings) = self.postings.get(kmer) {
+                    for (ordinal, _) in postings {
+                        *counts.entry(*ordinal).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> KmerIndex {
+        let mut idx = KmerIndex::new(4);
+        idx.add_sequence("s1", "ACGTACGTACGT");
+        idx.add_sequence("s2", "TTTTTTTTTTTT");
+        idx.add_sequence("s3", "ACGTAAAATTTT");
+        idx
+    }
+
+    #[test]
+    fn counts_and_ids() {
+        let idx = index();
+        assert_eq!(idx.sequence_count(), 3);
+        assert_eq!(idx.k(), 4);
+        assert_eq!(idx.sequence_id(0), Some("s1"));
+        assert_eq!(idx.sequence_id(9), None);
+        assert_eq!(idx.sequence_length(1), Some(12));
+        assert!(idx.kmer_count() > 0);
+    }
+
+    #[test]
+    fn lookup_returns_offsets() {
+        let idx = index();
+        let hits = idx.lookup("ACGT");
+        // s1 has ACGT at offsets 0,4,8; s3 at offset 0.
+        assert_eq!(hits.iter().filter(|(o, _)| *o == 0).count(), 3);
+        assert_eq!(hits.iter().filter(|(o, _)| *o == 2).count(), 1);
+        assert!(idx.lookup("GGGG").is_empty());
+    }
+
+    #[test]
+    fn seed_counts_rank_by_shared_kmers() {
+        let idx = index();
+        let counts = idx.seed_counts("ACGTACGT");
+        assert_eq!(counts[0].0, 0); // s1 shares the most seeds
+        assert!(counts.iter().any(|(o, _)| *o == 2)); // s3 shares some
+        assert!(!counts.iter().any(|(o, _)| *o == 1)); // s2 shares none
+    }
+
+    #[test]
+    fn short_sequences_and_queries() {
+        let mut idx = KmerIndex::new(5);
+        idx.add_sequence("tiny", "ACG");
+        assert_eq!(idx.sequence_count(), 1);
+        assert_eq!(idx.kmer_count(), 0);
+        assert!(idx.seed_counts("AC").is_empty());
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let idx = KmerIndex::new(0);
+        assert_eq!(idx.k(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Substitution scoring and gap penalties.
+
+use crate::alphabet::Alphabet;
+use serde::{Deserialize, Serialize};
+
+/// A scoring scheme for pairwise alignment: substitution scores plus linear
+/// gap penalties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoringScheme {
+    /// Score for aligning two identical residues (nucleotide mode) — ignored
+    /// in protein mode where the substitution matrix decides.
+    pub match_score: i32,
+    /// Score for aligning two different residues (nucleotide mode).
+    pub mismatch_score: i32,
+    /// Penalty (negative contribution) per gap position.
+    pub gap_penalty: i32,
+    /// Whether the protein substitution matrix should be used.
+    pub protein: bool,
+}
+
+impl ScoringScheme {
+    /// The default nucleotide scheme: +2 match, -1 mismatch, -2 gap (the
+    /// classic megablast-style parameters).
+    pub fn nucleotide() -> ScoringScheme {
+        ScoringScheme {
+            match_score: 2,
+            mismatch_score: -1,
+            gap_penalty: -2,
+            protein: false,
+        }
+    }
+
+    /// The default protein scheme: a compact BLOSUM62-like matrix and -4 gap.
+    pub fn protein() -> ScoringScheme {
+        ScoringScheme {
+            match_score: 4,
+            mismatch_score: -2,
+            gap_penalty: -4,
+            protein: true,
+        }
+    }
+
+    /// Pick a default scheme for an alphabet.
+    pub fn for_alphabet(alphabet: Alphabet) -> ScoringScheme {
+        if alphabet.is_nucleotide() {
+            ScoringScheme::nucleotide()
+        } else {
+            ScoringScheme::protein()
+        }
+    }
+
+    /// Substitution score between two residues (uppercase expected).
+    pub fn substitution(&self, a: u8, b: u8) -> i32 {
+        if self.protein {
+            blosum_like(a, b)
+        } else if a == b {
+            self.match_score
+        } else {
+            self.mismatch_score
+        }
+    }
+}
+
+/// A compact BLOSUM62-flavoured substitution score.
+///
+/// Rather than embedding the full 20×20 matrix, residues are grouped into the
+/// standard BLOSUM conservation groups; identical residues score +5,
+/// same-group substitutions +1 and cross-group substitutions -2. This keeps
+/// the ranking behaviour of BLOSUM62 (identities ≫ conservative substitutions
+/// > non-conservative) which is all the homology-link heuristics depend on.
+fn blosum_like(a: u8, b: u8) -> i32 {
+    if a == b {
+        return 5;
+    }
+    const GROUPS: &[&[u8]] = &[
+        b"ILMV",  // aliphatic
+        b"FWY",   // aromatic
+        b"KRH",   // basic
+        b"DE",    // acidic
+        b"STNQ",  // polar
+        b"AG",    // small
+        b"C",     // cysteine
+        b"P",     // proline
+    ];
+    let group_of = |x: u8| GROUPS.iter().position(|g| g.contains(&x.to_ascii_uppercase()));
+    match (group_of(a), group_of(b)) {
+        (Some(ga), Some(gb)) if ga == gb => 1,
+        _ => -2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nucleotide_scoring() {
+        let s = ScoringScheme::nucleotide();
+        assert_eq!(s.substitution(b'A', b'A'), 2);
+        assert_eq!(s.substitution(b'A', b'C'), -1);
+        assert_eq!(s.gap_penalty, -2);
+    }
+
+    #[test]
+    fn protein_scoring_prefers_identity_then_group() {
+        let s = ScoringScheme::protein();
+        let identity = s.substitution(b'L', b'L');
+        let conservative = s.substitution(b'L', b'I');
+        let radical = s.substitution(b'L', b'D');
+        assert!(identity > conservative);
+        assert!(conservative > radical);
+        assert_eq!(identity, 5);
+        assert_eq!(conservative, 1);
+        assert_eq!(radical, -2);
+    }
+
+    #[test]
+    fn scheme_selection_by_alphabet() {
+        assert!(!ScoringScheme::for_alphabet(Alphabet::Dna).protein);
+        assert!(!ScoringScheme::for_alphabet(Alphabet::Rna).protein);
+        assert!(ScoringScheme::for_alphabet(Alphabet::Protein).protein);
+    }
+
+    #[test]
+    fn blosum_like_is_symmetric() {
+        for &a in b"ARNDCQEGHILKMFPSTWYV" {
+            for &b in b"ARNDCQEGHILKMFPSTWYV" {
+                assert_eq!(blosum_like(a, b), blosum_like(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_residues_score_as_radical() {
+        assert_eq!(blosum_like(b'X', b'L'), -2);
+        assert_eq!(blosum_like(b'X', b'X'), 5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Dictionary- and pattern-based recognition of biological entity names.
+//!
+//! Section 4.4 of the paper: "methods for finding names of biological entities
+//! in natural text can be used for extracting names that are matched with
+//! unique fields of primary relations potentially holding the name of
+//! objects". The paper cites trainable recognizers (GAPSCORE, feature-based
+//! systems); for the reproduction a dictionary matcher over the already
+//! integrated unique name fields plus a pattern matcher for gene-symbol-like
+//! tokens exercises exactly the same downstream code path (extracted name →
+//! lookup in unique fields → implicit link).
+
+use crate::tokenize::{tokenize, word_ngrams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A recognized entity mention.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityMention {
+    /// The matched surface form (normalized).
+    pub surface: String,
+    /// The dictionary entry or pattern label it matched.
+    pub label: String,
+    /// Token offset of the first token of the mention.
+    pub token_offset: usize,
+}
+
+/// A dictionary-based entity recognizer.
+///
+/// Entries map a normalized surface form (one to three tokens) to a label,
+/// typically the accession of the object carrying that name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EntityRecognizer {
+    /// normalized surface → label
+    dictionary: HashMap<String, String>,
+    /// maximum entry length in tokens
+    max_tokens: usize,
+    /// whether gene-symbol-like patterns should also be reported
+    enable_patterns: bool,
+}
+
+impl EntityRecognizer {
+    /// Create an empty recognizer with pattern matching enabled.
+    pub fn new() -> EntityRecognizer {
+        EntityRecognizer {
+            dictionary: HashMap::new(),
+            max_tokens: 1,
+            enable_patterns: true,
+        }
+    }
+
+    /// Disable the gene-symbol pattern matcher (dictionary only).
+    pub fn without_patterns(mut self) -> EntityRecognizer {
+        self.enable_patterns = false;
+        self
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dictionary.is_empty()
+    }
+
+    /// Add a dictionary entry: a name (any case/punctuation) and the label to
+    /// report for it. Very short names (< 3 characters after normalization)
+    /// are ignored — they produce too many false positives.
+    pub fn add_entry(&mut self, name: &str, label: impl Into<String>) {
+        let toks = tokenize(name);
+        if toks.is_empty() {
+            return;
+        }
+        let normalized = toks.join(" ");
+        if normalized.len() < 3 {
+            return;
+        }
+        self.max_tokens = self.max_tokens.max(toks.len());
+        self.dictionary.insert(normalized, label.into());
+    }
+
+    /// Recognize entity mentions in free text. Dictionary matches are
+    /// reported for every n-gram up to the longest dictionary entry; longer
+    /// matches are preferred and overlapping shorter matches at the same
+    /// offset are suppressed. If pattern matching is enabled, tokens that look
+    /// like gene symbols (letters + digits, 2–10 chars, at least one digit and
+    /// one letter) are reported with the label `"gene-symbol"` unless they are
+    /// part of a dictionary match.
+    pub fn recognize(&self, text: &str) -> Vec<EntityMention> {
+        let tokens = tokenize(text);
+        let mut mentions: Vec<EntityMention> = Vec::new();
+        let mut covered = vec![false; tokens.len()];
+
+        for n in (1..=self.max_tokens.min(tokens.len().max(1))).rev() {
+            if tokens.len() < n {
+                continue;
+            }
+            for (offset, gram) in word_ngrams(&tokens, n).into_iter().enumerate() {
+                if covered[offset..offset + n].iter().any(|c| *c) {
+                    continue;
+                }
+                if let Some(label) = self.dictionary.get(&gram) {
+                    mentions.push(EntityMention {
+                        surface: gram,
+                        label: label.clone(),
+                        token_offset: offset,
+                    });
+                    for c in &mut covered[offset..offset + n] {
+                        *c = true;
+                    }
+                }
+            }
+        }
+
+        if self.enable_patterns {
+            for (offset, tok) in tokens.iter().enumerate() {
+                if covered[offset] {
+                    continue;
+                }
+                if looks_like_gene_symbol(tok) {
+                    mentions.push(EntityMention {
+                        surface: tok.clone(),
+                        label: "gene-symbol".to_string(),
+                        token_offset: offset,
+                    });
+                }
+            }
+        }
+
+        mentions.sort_by_key(|m| m.token_offset);
+        mentions
+    }
+}
+
+/// A token "looks like" a gene symbol if it mixes letters and digits, is
+/// short, and is not a plain number or plain word.
+fn looks_like_gene_symbol(token: &str) -> bool {
+    let len = token.chars().count();
+    if !(2..=10).contains(&len) {
+        return false;
+    }
+    let has_digit = token.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = token.chars().any(|c| c.is_ascii_alphabetic());
+    let only_alnum = token.chars().all(|c| c.is_ascii_alphanumeric());
+    has_digit && has_alpha && only_alnum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recognizer() -> EntityRecognizer {
+        let mut r = EntityRecognizer::new();
+        r.add_entry("tumor necrosis factor", "P01375");
+        r.add_entry("TNF", "P01375");
+        r.add_entry("insulin receptor", "P06213");
+        r.add_entry("BRCA1", "P38398");
+        r
+    }
+
+    #[test]
+    fn dictionary_matches_multiword_names() {
+        let r = recognizer();
+        let mentions = r.recognize("Binds to the tumor necrosis factor in vivo");
+        assert!(mentions
+            .iter()
+            .any(|m| m.surface == "tumor necrosis factor" && m.label == "P01375"));
+    }
+
+    #[test]
+    fn longest_match_wins_and_suppresses_overlaps() {
+        let mut r = recognizer();
+        r.add_entry("necrosis factor", "WRONG");
+        let mentions = r.recognize("tumor necrosis factor");
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].label, "P01375");
+    }
+
+    #[test]
+    fn pattern_matcher_finds_gene_symbols() {
+        let r = recognizer();
+        let mentions = r.recognize("interacts with p53 and cdc42 during mitosis");
+        let symbols: Vec<&str> = mentions
+            .iter()
+            .filter(|m| m.label == "gene-symbol")
+            .map(|m| m.surface.as_str())
+            .collect();
+        assert!(symbols.contains(&"p53"));
+        assert!(symbols.contains(&"cdc42"));
+    }
+
+    #[test]
+    fn dictionary_entry_beats_pattern() {
+        let r = recognizer();
+        let mentions = r.recognize("mutations in BRCA1 are pathogenic");
+        let brca: Vec<&EntityMention> = mentions.iter().filter(|m| m.surface == "brca1").collect();
+        assert_eq!(brca.len(), 1);
+        assert_eq!(brca[0].label, "P38398");
+    }
+
+    #[test]
+    fn patterns_can_be_disabled() {
+        let r = recognizer().without_patterns();
+        let mentions = r.recognize("interacts with p53");
+        assert!(mentions.iter().all(|m| m.label != "gene-symbol"));
+    }
+
+    #[test]
+    fn short_or_empty_entries_ignored() {
+        let mut r = EntityRecognizer::new();
+        r.add_entry("ab", "X");
+        r.add_entry("", "Y");
+        assert!(r.is_empty());
+        r.add_entry("abc", "Z");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gene_symbol_pattern_rules() {
+        assert!(looks_like_gene_symbol("p53"));
+        assert!(looks_like_gene_symbol("cdc42"));
+        assert!(!looks_like_gene_symbol("12345"));
+        assert!(!looks_like_gene_symbol("kinase"));
+        assert!(!looks_like_gene_symbol("a"));
+        assert!(!looks_like_gene_symbol("verylongtoken123"));
+    }
+
+    #[test]
+    fn empty_text_produces_no_mentions() {
+        let r = recognizer();
+        assert!(r.recognize("").is_empty());
+    }
+}

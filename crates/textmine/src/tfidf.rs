@@ -1,0 +1,230 @@
+//! TF-IDF document vectors and cosine similarity.
+
+use crate::tokenize::tokenize_without_stopwords;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse TF-IDF vector: term → weight.
+pub type SparseVector = HashMap<String, f64>;
+
+/// A TF-IDF model fitted over a corpus of documents.
+///
+/// Documents are identified by the caller (usually `source/table/row`
+/// coordinates); the model stores document frequencies and per-document
+/// normalized vectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfIdfModel {
+    /// Number of documents the model was fitted on.
+    doc_count: usize,
+    /// Document frequency per term.
+    doc_freq: HashMap<String, usize>,
+    /// Fitted document vectors (L2-normalized), keyed by document id.
+    vectors: HashMap<String, SparseVector>,
+}
+
+impl TfIdfModel {
+    /// Fit a model over `(document id, text)` pairs.
+    pub fn fit<I, S1, S2>(documents: I) -> TfIdfModel
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: Into<String>,
+        S2: AsRef<str>,
+    {
+        let docs: Vec<(String, Vec<String>)> = documents
+            .into_iter()
+            .map(|(id, text)| (id.into(), tokenize_without_stopwords(text.as_ref())))
+            .collect();
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for (_, tokens) in &docs {
+            let mut seen = std::collections::HashSet::new();
+            for t in tokens {
+                if seen.insert(t) {
+                    *doc_freq.entry(t.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let doc_count = docs.len();
+        let mut model = TfIdfModel {
+            doc_count,
+            doc_freq,
+            vectors: HashMap::new(),
+        };
+        for (id, tokens) in docs {
+            let v = model.vectorize_tokens(&tokens);
+            model.vectors.insert(id, v);
+        }
+        model
+    }
+
+    /// Number of fitted documents.
+    pub fn len(&self) -> usize {
+        self.doc_count
+    }
+
+    /// True if no documents were fitted.
+    pub fn is_empty(&self) -> bool {
+        self.doc_count == 0
+    }
+
+    /// Inverse document frequency of a term with add-one smoothing.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        ((1.0 + self.doc_count as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    fn vectorize_tokens(&self, tokens: &[String]) -> SparseVector {
+        let mut tf: HashMap<&str, usize> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut v: SparseVector = tf
+            .into_iter()
+            .map(|(t, c)| (t.to_string(), c as f64 * self.idf(t)))
+            .collect();
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Vectorize arbitrary text against the fitted vocabulary (terms unseen
+    /// during fitting still receive the smoothed default IDF).
+    pub fn vectorize(&self, text: &str) -> SparseVector {
+        self.vectorize_tokens(&tokenize_without_stopwords(text))
+    }
+
+    /// The fitted vector of a document, if present.
+    pub fn document_vector(&self, id: &str) -> Option<&SparseVector> {
+        self.vectors.get(id)
+    }
+
+    /// Cosine similarity between two fitted documents (0 if either is absent).
+    pub fn document_similarity(&self, id_a: &str, id_b: &str) -> f64 {
+        match (self.vectors.get(id_a), self.vectors.get(id_b)) {
+            (Some(a), Some(b)) => cosine_similarity(a, b),
+            _ => 0.0,
+        }
+    }
+
+    /// The `top_k` most similar fitted documents to the given text, excluding
+    /// exact id matches in `exclude`, sorted by descending similarity.
+    pub fn most_similar(&self, text: &str, top_k: usize, exclude: &[&str]) -> Vec<(String, f64)> {
+        let query = self.vectorize(text);
+        let mut scored: Vec<(String, f64)> = self
+            .vectors
+            .iter()
+            .filter(|(id, _)| !exclude.contains(&id.as_str()))
+            .map(|(id, v)| (id.clone(), cosine_similarity(&query, v)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(top_k);
+        scored
+    }
+}
+
+fn l2_normalize(v: &mut SparseVector) {
+    let norm: f64 = v.values().map(|w| w * w).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for w in v.values_mut() {
+            *w /= norm;
+        }
+    }
+}
+
+/// Cosine similarity of two sparse vectors (assumed L2-normalized or not —
+/// the function normalizes by the product of norms).
+pub fn cosine_similarity(a: &SparseVector, b: &SparseVector) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
+        .sum();
+    let na: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TfIdfModel {
+        TfIdfModel::fit(vec![
+            ("d1", "serine threonine kinase involved in cell signalling"),
+            ("d2", "membrane transporter for glucose uptake"),
+            ("d3", "serine kinase regulating the cell cycle"),
+            ("d4", "ribosomal subunit assembly factor"),
+        ])
+    }
+
+    #[test]
+    fn fit_counts_documents() {
+        let m = model();
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert!(m.document_vector("d1").is_some());
+        assert!(m.document_vector("missing").is_none());
+    }
+
+    #[test]
+    fn similar_documents_score_higher() {
+        let m = model();
+        let s_close = m.document_similarity("d1", "d3");
+        let s_far = m.document_similarity("d1", "d2");
+        assert!(s_close > s_far);
+        assert!(s_close > 0.2);
+        assert!(s_far < 0.2);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let m = model();
+        assert!((m.document_similarity("d2", "d2") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_documents_score_zero() {
+        let m = model();
+        assert_eq!(m.document_similarity("d1", "nope"), 0.0);
+    }
+
+    #[test]
+    fn most_similar_ranks_and_excludes() {
+        let m = model();
+        let hits = m.most_similar("kinase of the cell", 2, &["d1"]);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].0, "d3");
+        assert!(hits.iter().all(|(id, _)| id != "d1"));
+        assert!(hits.len() <= 2);
+    }
+
+    #[test]
+    fn idf_weights_rare_terms_higher() {
+        let m = model();
+        assert!(m.idf("glucose") > m.idf("kinase"));
+        // Unknown terms get the maximum smoothed idf.
+        assert!(m.idf("zzzz") >= m.idf("glucose"));
+    }
+
+    #[test]
+    fn cosine_handles_empty_vectors() {
+        let empty: SparseVector = HashMap::new();
+        let mut v: SparseVector = HashMap::new();
+        v.insert("x".into(), 1.0);
+        assert_eq!(cosine_similarity(&empty, &v), 0.0);
+        assert_eq!(cosine_similarity(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn empty_model_behaves() {
+        let m = TfIdfModel::fit(Vec::<(String, String)>::new());
+        assert!(m.is_empty());
+        assert!(m.most_similar("anything", 5, &[]).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the text-mining substrate.
+
+use aladin_textmine::distance::{jaccard, jaro_winkler, levenshtein, normalized_levenshtein};
+use aladin_textmine::qgram::qgram_similarity;
+use aladin_textmine::tokenize::{normalize, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry and the triangle
+    /// inequality hold on sampled strings.
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Normalized similarities stay within [0, 1] and equal strings score 1.
+    #[test]
+    fn similarities_are_bounded(a in "[a-zA-Z0-9 ]{0,20}", b in "[a-zA-Z0-9 ]{0,20}") {
+        for s in [
+            normalized_levenshtein(&a, &b),
+            jaro_winkler(&a, &b),
+            qgram_similarity(&a, &b, 3),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+        }
+        prop_assert!((normalized_levenshtein(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((qgram_similarity(&a, &a, 3) - 1.0).abs() < 1e-9);
+    }
+
+    /// Jaccard over token multisets is symmetric and bounded.
+    #[test]
+    fn jaccard_symmetric(a in prop::collection::vec("[a-z]{1,6}", 0..8), b in prop::collection::vec("[a-z]{1,6}", 0..8)) {
+        let ab = jaccard(&a, &b);
+        let ba = jaccard(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// Normalization is idempotent and tokenization of normalized text yields
+    /// only lowercase alphanumeric tokens.
+    #[test]
+    fn normalize_idempotent(text in "[ -~]{0,40}") {
+        let once = normalize(&text);
+        prop_assert_eq!(normalize(&once), once.clone());
+        for token in tokenize(&text) {
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric() && !c.is_uppercase()));
+        }
+    }
+}

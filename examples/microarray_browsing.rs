@@ -1,0 +1,60 @@
+//! The microarray scenario of Section 6.2: "typical microarray experiments
+//! produce a set of 50-100 genes. Biologists then manually browse a large
+//! number of web sites following hyper links for each gene." With ALADIN the
+//! whole neighbourhood of every gene — proteins, structures, functional terms,
+//! duplicates — is available from one integrated warehouse, plus ranked
+//! full-text search.
+//!
+//! Run with: `cargo run --release --example microarray_browsing`
+
+use aladin::core::access::{BrowseEngine, SearchEngine};
+use aladin::core::{Aladin, AladinConfig};
+use aladin::datagen::{Corpus, CorpusConfig};
+
+fn main() {
+    let mut config = CorpusConfig::medium(11);
+    config.gene_fraction = 0.9;
+    let corpus = Corpus::generate(&config);
+    let mut aladin = Aladin::new(AladinConfig::default());
+    for dump in &corpus.sources {
+        aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .expect("integration succeeds");
+    }
+
+    // The "hit list" of a microarray experiment: 60 genes.
+    let genes = aladin.objects_of("genedb").expect("genes integrated");
+    let hit_list: Vec<_> = genes.iter().take(60).collect();
+    println!("browsing {} genes from the experiment hit list\n", hit_list.len());
+
+    let browse = BrowseEngine::new(&aladin);
+    let mut total_links = 0usize;
+    for (i, gene) in hit_list.iter().enumerate() {
+        let view = browse.view(gene).expect("gene view");
+        total_links += view.linked.len();
+        if i < 5 {
+            let targets: Vec<String> = view
+                .linked
+                .iter()
+                .take(4)
+                .map(|(o, kind, _)| format!("{o} [{kind}]"))
+                .collect();
+            println!("{gene}: {} links, e.g. {}", view.linked.len(), targets.join(", "));
+        }
+    }
+    println!(
+        "...\naltogether {} links reachable from the hit list without visiting a single web site",
+        total_links
+    );
+
+    // Google-style retrieval across all integrated sources.
+    let search = SearchEngine::build(&aladin).expect("search index");
+    println!("\nranked search for 'kinase cell cycle regulation':");
+    for hit in search.search("kinase cell cycle regulation", 5) {
+        println!("  {:30} score {:.3} (field {})", hit.object.to_string(), hit.score, hit.field);
+    }
+    println!("\nsearch restricted to the ontology source:");
+    for hit in search.search_source("cell cycle regulation", "ontodb", 3) {
+        println!("  {:30} score {:.3}", hit.object.to_string(), hit.score);
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration test for the Table 1 comparison: ALADIN must reach at least the
+//! link coverage of the SRS-like manually specified baseline while requiring
+//! no declared schema elements, and the mediator baseline must show the
+//! "schema-only" blind spot (no object links at all).
+
+use aladin::baseline::mediator::{GlobalSchema, Mapping, Mediator};
+use aladin::baseline::srs::{SourceSpec, SrsSystem};
+use aladin::core::{Aladin, AladinConfig};
+use aladin::datagen::{Corpus, CorpusConfig};
+
+#[test]
+fn aladin_matches_manual_specification_without_the_manual_work() {
+    let mut config = CorpusConfig::small(77);
+    config.missing_xref_rate = 0.0;
+    let corpus = Corpus::generate(&config);
+    let databases = corpus.import_all().unwrap();
+
+    // SRS-like: the operator declares protkb's DR field as the only link field.
+    let specs = vec![
+        SourceSpec {
+            source: "protkb".into(),
+            primary_table: "protkb_entry".into(),
+            accession_field: "ac".into(),
+            indexed_fields: vec![("protkb_entry".into(), "de".into())],
+            link_fields: vec![("protkb_dr".into(), "value".into(), "structdb".into())],
+            join_column: "entry_id".into(),
+        },
+        SourceSpec {
+            source: "structdb".into(),
+            primary_table: "structures".into(),
+            accession_field: "structure_id".into(),
+            indexed_fields: vec![("structures".into(), "title".into())],
+            link_fields: vec![],
+            join_column: String::new(),
+        },
+    ];
+    let srs = SrsSystem::build(&databases, specs);
+    assert!(srs.effort().schema_elements_declared > 0);
+
+    // ALADIN on the same corpus.
+    let mut aladin = Aladin::new(AladinConfig::default());
+    for dump in &corpus.sources {
+        aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap();
+    }
+    let aladin_protkb_structdb_links = aladin
+        .metadata()
+        .links()
+        .iter()
+        .filter(|l| {
+            (l.from.source == "protkb" && l.to.source == "structdb")
+                || (l.from.source == "structdb" && l.to.source == "protkb")
+        })
+        .count();
+    assert!(
+        aladin_protkb_structdb_links >= srs.links().len(),
+        "ALADIN found {aladin_protkb_structdb_links} protkb-structdb links, SRS {} declared ones",
+        srs.links().len()
+    );
+
+    // Mediator: hand-mapped global schema answers attribute queries but has no
+    // notion of object links or duplicates at all.
+    let mediator = Mediator::build(
+        GlobalSchema {
+            concept: "protein".into(),
+            attributes: vec!["accession".into(), "description".into()],
+        },
+        vec![Mapping {
+            source: "protkb".into(),
+            table: "protkb_entry".into(),
+            column: "ac".into(),
+            global_attribute: "accession".into(),
+        }],
+        databases.iter().collect(),
+    );
+    let result = mediator.query_concept(&["accession", "description"]).unwrap();
+    assert!(result.row_count() > 0);
+    assert!(mediator.coverage() < 1.0);
+    assert!(mediator.effort().mappings_written > 0);
+    assert!(aladin.duplicate_count() > 0, "ALADIN flags duplicates, the mediator cannot");
+}

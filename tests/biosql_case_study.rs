@@ -1,0 +1,137 @@
+//! Section 5 case study as an integration test: a BioSQL-like schema must be
+//! analysed correctly (primary relation, accession column, secondary paths),
+//! and the COLUMBA-style link from structures to annotation must be
+//! discoverable both from existing cross-references and from sequence
+//! similarity.
+
+use aladin::core::pipeline::analyze_database;
+use aladin::core::{Aladin, AladinConfig};
+use aladin::relstore::{ColumnDef, Database, TableSchema, Value};
+
+fn biosql_like() -> Database {
+    let mut db = Database::new("biosql");
+    db.create_table(
+        "bioentry",
+        TableSchema::of(vec![
+            ColumnDef::int("bioentry_id"),
+            ColumnDef::text("accession"),
+            ColumnDef::text("name"),
+            ColumnDef::int("taxon_id"),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "biosequence",
+        TableSchema::of(vec![
+            ColumnDef::int("biosequence_id"),
+            ColumnDef::int("bioentry_id"),
+            ColumnDef::text("biosequence_str"),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "dbref",
+        TableSchema::of(vec![
+            ColumnDef::int("dbref_id"),
+            ColumnDef::int("bioentry_id"),
+            ColumnDef::text("accession"),
+        ]),
+    )
+    .unwrap();
+    let seq = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ";
+    for i in 1..=20i64 {
+        db.insert(
+            "bioentry",
+            vec![
+                Value::Int(i),
+                Value::text(format!("BE{:04}X", i)),
+                Value::text(format!("ENTRY{}{}", i, "_HUMAN".repeat(1 + (i as usize) % 2))),
+                Value::Int(1 + i % 5),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "biosequence",
+            vec![Value::Int(i), Value::Int(i), Value::text(seq.repeat(2 + (i as usize) % 3))],
+        )
+        .unwrap();
+        db.insert(
+            "dbref",
+            vec![
+                Value::Int(i),
+                Value::Int(i),
+                Value::text(format!("{}AB{}", 1 + i % 9, (b'A' + (i % 20) as u8) as char)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn biosql_bioentry_is_identified_as_the_primary_relation() {
+    let db = biosql_like();
+    let structure = analyze_database(&db, &AladinConfig::default()).unwrap();
+
+    // Only bioentry.accession qualifies: bioentry_id is purely numeric, name
+    // varies too much in length, the sequence is far too long.
+    assert_eq!(structure.primary_relations.len(), 1);
+    assert_eq!(structure.primary_relations[0].table, "bioentry");
+    assert_eq!(structure.primary_relations[0].accession_column, "accession");
+
+    // Both annotation tables are connected to the primary relation.
+    let secondary_tables: Vec<&str> = structure
+        .secondary_relations
+        .iter()
+        .filter(|s| !s.path.is_empty())
+        .map(|s| s.table.as_str())
+        .collect();
+    assert!(secondary_tables.contains(&"biosequence"));
+    assert!(secondary_tables.contains(&"dbref"));
+
+    // The dbref.accession field is recognized as a potential cross-reference
+    // source (non-numeric, high cardinality) by the pruning step.
+    let (candidates, _) = aladin::core::links::candidate_source_attributes(
+        &structure,
+        &AladinConfig::default(),
+    );
+    assert!(candidates
+        .iter()
+        .any(|c| c.table == "dbref" && c.column == "accession"));
+}
+
+#[test]
+fn structures_link_to_biosql_entries_via_existing_cross_references() {
+    // A small structure source whose accessions are referenced by dbref.
+    let mut structdb = Database::new("structdb");
+    structdb
+        .create_table(
+            "structures",
+            TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+        )
+        .unwrap();
+    for i in 1..=20i64 {
+        structdb
+            .insert(
+                "structures",
+                vec![
+                    Value::text(format!("{}AB{}", 1 + i % 9, (b'A' + (i % 20) as u8) as char)),
+                    Value::text(format!("crystal structure of entry {i}")),
+                ],
+            )
+            .unwrap();
+    }
+
+    let config = AladinConfig {
+        link_min_matches: 1,
+        ..Default::default()
+    };
+    let mut aladin = Aladin::new(config);
+    aladin.add_database(biosql_like()).unwrap();
+    let report = aladin.add_database(structdb).unwrap();
+    assert!(
+        report.explicit_links >= 15,
+        "only {} cross-references discovered",
+        report.explicit_links
+    );
+}

@@ -1,0 +1,193 @@
+//! End-to-end integration test: generate a synthetic corpus, integrate it with
+//! ALADIN, and score every discovery step against the recorded ground truth.
+
+use aladin::core::eval::{evaluate_links, evaluate_structure, ExpectedTruth};
+use aladin::core::{Aladin, AladinConfig};
+use aladin::datagen::{Corpus, CorpusConfig, GroundTruth};
+
+/// Convert the generator's ground truth into the evaluator's plain-data form.
+fn expected_truth(truth: &GroundTruth) -> ExpectedTruth {
+    ExpectedTruth {
+        sources: truth
+            .sources
+            .iter()
+            .map(|s| {
+                (
+                    s.source.clone(),
+                    s.primary_tables.clone(),
+                    s.accession_columns.clone(),
+                    s.secondary_tables.clone(),
+                )
+            })
+            .collect(),
+        links: truth
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    l.from_source.clone(),
+                    l.from_accession.clone(),
+                    l.to_source.clone(),
+                    l.to_accession.clone(),
+                    l.explicit,
+                )
+            })
+            .collect(),
+        duplicates: truth
+            .duplicates
+            .iter()
+            .map(|d| {
+                (
+                    d.source_a.clone(),
+                    d.accession_a.clone(),
+                    d.source_b.clone(),
+                    d.accession_b.clone(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn integrate(corpus: &Corpus, config: AladinConfig) -> Aladin {
+    let mut aladin = Aladin::new(config);
+    for dump in &corpus.sources {
+        aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap_or_else(|e| panic!("failed to integrate {}: {e}", dump.name));
+    }
+    aladin
+}
+
+#[test]
+fn full_corpus_integration_meets_quality_bars() {
+    let corpus = Corpus::generate(&CorpusConfig::small(2024));
+    let aladin = integrate(&corpus, AladinConfig::default());
+    assert_eq!(aladin.source_count(), corpus.sources.len());
+
+    let truth = expected_truth(&corpus.truth);
+    let structure = evaluate_structure(&aladin, &truth);
+    assert_eq!(structure.len(), corpus.truth.sources.len());
+
+    // Primary-relation detection must be correct for the majority of sources
+    // and for the protein knowledgebase in particular (the case-study claim).
+    let correct = structure.iter().filter(|e| e.primary_correct).count();
+    assert!(
+        correct * 10 >= structure.len() * 7,
+        "primary relations correct for only {correct}/{} sources",
+        structure.len()
+    );
+    let protkb = structure.iter().find(|e| e.source == "protkb").unwrap();
+    assert!(protkb.primary_correct, "protkb primary relation missed");
+    assert!(protkb.accession_correct, "protkb accession column missed");
+
+    // Explicit cross-reference discovery: high precision, reasonable recall.
+    let links = evaluate_links(&aladin, &truth);
+    assert!(
+        links.explicit_links.precision() >= 0.8,
+        "explicit link precision {:.2}",
+        links.explicit_links.precision()
+    );
+    assert!(
+        links.explicit_links.recall() >= 0.5,
+        "explicit link recall {:.2}",
+        links.explicit_links.recall()
+    );
+
+    // Duplicate detection: the protkb/archive overlap must be found with
+    // decent recall and precision.
+    assert!(
+        links.duplicates.recall() >= 0.5,
+        "duplicate recall {:.2}",
+        links.duplicates.recall()
+    );
+    assert!(
+        links.duplicates.precision() >= 0.5,
+        "duplicate precision {:.2}",
+        links.duplicates.precision()
+    );
+}
+
+#[test]
+fn incremental_addition_matches_batch_addition() {
+    let corpus = Corpus::generate(&CorpusConfig::small(7));
+    // Batch: all sources in generation order.
+    let batch = integrate(&corpus, AladinConfig::default());
+    // Incremental: reversed order.
+    let mut reversed = Aladin::new(AladinConfig::default());
+    for dump in corpus.sources.iter().rev() {
+        reversed
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap();
+    }
+    assert_eq!(batch.source_count(), reversed.source_count());
+    // Structure discovery is order-independent.
+    for truth in &corpus.truth.sources {
+        let a = batch.metadata().structure(&truth.source).unwrap();
+        let b = reversed.metadata().structure(&truth.source).unwrap();
+        let pa: Vec<&str> = a.primary_relations.iter().map(|p| p.table.as_str()).collect();
+        let pb: Vec<&str> = b.primary_relations.iter().map(|p| p.table.as_str()).collect();
+        assert_eq!(pa, pb, "primary relations differ for {}", truth.source);
+    }
+    // Explicit link discovery is symmetric (both directions are probed), so
+    // the totals must agree.
+    let count_explicit = |a: &Aladin| {
+        a.metadata()
+            .links()
+            .iter()
+            .filter(|l| l.kind == aladin::core::LinkKind::ExplicitCrossRef)
+            .count()
+    };
+    assert_eq!(count_explicit(&batch), count_explicit(&reversed));
+}
+
+#[test]
+fn withheld_cross_references_are_partially_recovered_implicitly() {
+    let mut config = CorpusConfig::small(99);
+    config.missing_xref_rate = 0.4;
+    config.archive_overlap = 0.8;
+    let corpus = Corpus::generate(&config);
+    let aladin = integrate(&corpus, AladinConfig::default());
+    let links = evaluate_links(&aladin, &expected_truth(&corpus.truth));
+    assert!(
+        corpus.truth.withheld_link_count() > 0,
+        "corpus should withhold some links"
+    );
+    assert!(
+        links.withheld_recall > 0.0,
+        "no withheld link was recovered implicitly"
+    );
+}
+
+#[test]
+fn three_flavour_structure_duplicates_are_trivially_detected() {
+    let mut config = CorpusConfig::small(5);
+    config.three_flavour_structures = true;
+    config.structure_fraction = 0.6;
+    let corpus = Corpus::generate(&config);
+    let aladin = integrate(&corpus, AladinConfig::default());
+    let truth = expected_truth(&corpus.truth);
+    let links = evaluate_links(&aladin, &truth);
+    // The same PDB accession appears in all flavours, so duplicate detection
+    // should find essentially all flavour duplicates.
+    assert!(
+        links.duplicates.recall() >= 0.6,
+        "duplicate recall with shared accessions was only {:.2}",
+        links.duplicates.recall()
+    );
+}
+
+#[test]
+fn two_primary_gene_source_is_detected_in_multi_mode() {
+    let mut config = CorpusConfig::small(11);
+    config.two_primary_gene_db = true;
+    config.gene_fraction = 1.0;
+    let corpus = Corpus::generate(&config);
+    let aladin = integrate(&corpus, AladinConfig::with_multiple_primaries());
+    let genedb = aladin.metadata().structure("genedb").unwrap();
+    let tables: Vec<&str> = genedb
+        .primary_relations
+        .iter()
+        .map(|p| p.table.as_str())
+        .collect();
+    assert!(tables.contains(&"genes_gene"), "gene table not primary: {tables:?}");
+}
