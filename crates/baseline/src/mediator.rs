@@ -8,7 +8,7 @@
 //! duplicates exist at all.
 
 use crate::cost::HumanEffort;
-use aladin_relstore::{Database, RelResult, Table, TableSchema, ColumnDef, DataType, Value};
+use aladin_relstore::{ColumnDef, DataType, Database, RelResult, Table, TableSchema, Value};
 use serde::{Deserialize, Serialize};
 
 /// The global (mediated) schema: a flat list of concept attributes.
@@ -92,7 +92,11 @@ impl<'a> Mediator<'a> {
     pub fn query_concept(&self, attributes: &[&str]) -> RelResult<Table> {
         let schema = TableSchema::new(
             std::iter::once(ColumnDef::text("source"))
-                .chain(attributes.iter().map(|a| ColumnDef::new(*a, DataType::Text)))
+                .chain(
+                    attributes
+                        .iter()
+                        .map(|a| ColumnDef::new(*a, DataType::Text)),
+                )
                 .collect(),
         )?;
         let mut out = Table::new(self.schema.concept.clone(), schema);
@@ -103,7 +107,9 @@ impl<'a> Mediator<'a> {
             let relevant: Vec<&Mapping> = self
                 .mappings
                 .iter()
-                .filter(|m| m.source == db.name() && attributes.contains(&m.global_attribute.as_str()))
+                .filter(|m| {
+                    m.source == db.name() && attributes.contains(&m.global_attribute.as_str())
+                })
                 .collect();
             if relevant.is_empty() {
                 continue;
@@ -204,7 +210,9 @@ mod tests {
             },
         ];
         let mediator = Mediator::build(schema(), mappings, vec![&protkb, &archive]);
-        let result = mediator.query_concept(&["accession", "description"]).unwrap();
+        let result = mediator
+            .query_concept(&["accession", "description"])
+            .unwrap();
         assert_eq!(result.row_count(), 2);
         // The archive's description is not mapped → NULL.
         let archive_row: Vec<&aladin_relstore::Row> = result

@@ -137,7 +137,10 @@ impl SrsSystem {
                             }
                             if let Some(owner) = owner_of(table_name, row_idx) {
                                 index.add_document(
-                                    format!("{}\u{1}{}\u{1}{}", spec.source, spec.primary_table, owner),
+                                    format!(
+                                        "{}\u{1}{}\u{1}{}",
+                                        spec.source, spec.primary_table, owner
+                                    ),
                                     spec.source.clone(),
                                     format!("{table_name}.{column}"),
                                     &v.render(),
@@ -174,7 +177,9 @@ impl SrsSystem {
                             let target = target_accessions
                                 .get(&rendered)
                                 .or_else(|| target_accessions.get(&token));
-                            if let (Some(target), Some(owner)) = (target, owner_of(table_name, row_idx)) {
+                            if let (Some(target), Some(owner)) =
+                                (target, owner_of(table_name, row_idx))
+                            {
                                 links.push(Link {
                                     from: ObjectRef::new(
                                         spec.source.clone(),
@@ -282,7 +287,10 @@ mod tests {
         structdb
             .create_table(
                 "structures",
-                TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                ]),
             )
             .unwrap();
         structdb

@@ -20,7 +20,9 @@ fn bench_duplicates(c: &mut Criterion) {
     let archive_structure = analyze_database(&archive, &config).unwrap();
 
     let mut group = c.benchmark_group("duplicate_detection");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     for measure in [
         DuplicateMeasure::EditDistance,

@@ -11,7 +11,12 @@ use std::time::Duration;
 
 fn warehouse_with(corpus: &Corpus, n_sources: usize) -> Aladin {
     let mut aladin = Aladin::new(AladinConfig::default());
-    for dump in corpus.sources.iter().filter(|d| d.name != "archive").take(n_sources) {
+    for dump in corpus
+        .sources
+        .iter()
+        .filter(|d| d.name != "archive")
+        .take(n_sources)
+    {
         aladin
             .add_source_files(&dump.name, dump.format, &dump.files)
             .unwrap();
@@ -24,7 +29,9 @@ fn bench_incremental(c: &mut Criterion) {
     let archive = corpus.source("archive").unwrap().clone();
 
     let mut group = c.benchmark_group("incremental_addition");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     for existing in [1usize, 3, 6] {
         let base = warehouse_with(&corpus, existing);

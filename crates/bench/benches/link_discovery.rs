@@ -21,12 +21,20 @@ fn bench_link_discovery(c: &mut Criterion) {
     let structdb_structure = analyze_database(&structdb, &config).unwrap();
 
     let mut group = c.benchmark_group("link_discovery");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
 
     group.bench_function("explicit_with_pruning", |b| {
         b.iter(|| {
-            discover_explicit_links(&protkb, &protkb_structure, &structdb, &structdb_structure, &config)
-                .unwrap()
+            discover_explicit_links(
+                &protkb,
+                &protkb_structure,
+                &structdb,
+                &structdb_structure,
+                &config,
+            )
+            .unwrap()
         })
     });
 

@@ -15,7 +15,9 @@ fn bench_pipeline(c: &mut Criterion) {
     let protkb = corpus.source("protkb").unwrap().import().unwrap();
 
     let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     group.bench_function("integrate_small_corpus", |b| {
         b.iter_batched(

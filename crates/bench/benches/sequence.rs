@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn random_protein(rng: &mut StdRng, len: usize) -> String {
     const AA: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
-    (0..len).map(|_| AA[rng.gen_range(0..AA.len())] as char).collect()
+    (0..len)
+        .map(|_| AA[rng.gen_range(0..AA.len())] as char)
+        .collect()
 }
 
 fn bench_sequence(c: &mut Criterion) {
@@ -31,7 +33,9 @@ fn bench_sequence(c: &mut Criterion) {
     let query: String = query.into_iter().collect();
 
     let mut group = c.benchmark_group("sequence_homology");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     group.bench_function("seeded_search_200_subjects", |b| {
         b.iter(|| index.search(&query))

@@ -1,0 +1,99 @@
+//! Cached-facade access versus the seed's rebuild-per-call path.
+//!
+//! The seed exposed three disconnected engines; serving a search (or a
+//! cross-source query) meant rebuilding the inverted index (or rescanning the
+//! whole link set) on every call. The `Warehouse` facade builds those
+//! structures once per metadata generation and serves every subsequent call
+//! from the cache. This bench makes the difference visible in the bench
+//! trajectory: `cached_facade/*` should sit orders of magnitude below its
+//! `rebuild_per_call/*` counterpart.
+
+#![allow(deprecated)]
+
+use aladin_bench::integrate_corpus;
+use aladin_core::access::{BrowseEngine, QueryEngine, SearchEngine, Warehouse};
+use aladin_core::AladinConfig;
+use aladin_datagen::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_warehouse_access(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small(5));
+    let (aladin, _) = integrate_corpus(&corpus, AladinConfig::default());
+    let warehouse = Warehouse::from_aladin(aladin);
+    warehouse.warm().unwrap();
+    let start_object = warehouse
+        .aladin()
+        .objects_of("protkb")
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap();
+
+    // The seed's shape: every call pays the index build / link rescan.
+    let mut group = c.benchmark_group("rebuild_per_call");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("search", |b| {
+        b.iter(|| {
+            SearchEngine::build(warehouse.aladin())
+                .unwrap()
+                .search("kinase signal transduction", 10)
+        })
+    });
+    group.bench_function("cross_source_query", |b| {
+        // The deprecated engine rebuilds its adjacency on every call.
+        b.iter(|| {
+            QueryEngine::new(warehouse.aladin())
+                .cross_source_objects("protkb", "structdb")
+                .unwrap()
+        })
+    });
+    group.bench_function("reachable_depth2", |b| {
+        b.iter(|| BrowseEngine::new(warehouse.aladin()).reachable(&start_object, 2))
+    });
+    group.finish();
+
+    // The facade's shape: the same operations from cached structures.
+    let mut group = c.benchmark_group("cached_facade");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("search", |b| {
+        b.iter(|| {
+            warehouse
+                .search_hits("kinase signal transduction", 10)
+                .unwrap()
+        })
+    });
+    group.bench_function("cross_source_query", |b| {
+        b.iter(|| {
+            warehouse
+                .cross_source_objects("protkb", "structdb")
+                .unwrap()
+        })
+    });
+    group.bench_function("reachable_depth2", |b| {
+        b.iter(|| warehouse.reachable(&start_object, 2).unwrap())
+    });
+    group.bench_function("composed_search_follow_cursor", |b| {
+        b.iter(|| {
+            let cursor = warehouse
+                .search("kinase")
+                .follow_links(None, 1)
+                .from_source("structdb")
+                .cursor(10)
+                .unwrap();
+            let mut rows = 0usize;
+            for page in cursor {
+                rows += page.unwrap().len();
+            }
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warehouse_access);
+criterion_main!(benches);

@@ -45,7 +45,11 @@ fn biosql(dictionary_sizes_equal: bool) -> Database {
     .unwrap();
     db.create_table(
         "ontologyterm",
-        TableSchema::of(vec![ColumnDef::int("term_id"), ColumnDef::text("term_name"), ColumnDef::text("term_definition")]),
+        TableSchema::of(vec![
+            ColumnDef::int("term_id"),
+            ColumnDef::text("term_name"),
+            ColumnDef::text("term_definition"),
+        ]),
     )
     .unwrap();
     db.create_table(
@@ -59,7 +63,10 @@ fn biosql(dictionary_sizes_equal: bool) -> Database {
     .unwrap();
     db.create_table(
         "taxon",
-        TableSchema::of(vec![ColumnDef::int("taxon_id"), ColumnDef::text("taxon_name")]),
+        TableSchema::of(vec![
+            ColumnDef::int("taxon_id"),
+            ColumnDef::text("taxon_name"),
+        ]),
     )
     .unwrap();
 
@@ -73,14 +80,22 @@ fn biosql(dictionary_sizes_equal: bool) -> Database {
             vec![
                 Value::Int(i),
                 Value::text(format!("BE{:04}X", i)),
-                Value::text(format!("ENTRY{}{}", i, "_HUMAN".repeat(1 + (i as usize % 2)))),
+                Value::text(format!(
+                    "ENTRY{}{}",
+                    i,
+                    "_HUMAN".repeat(1 + (i as usize % 2))
+                )),
                 Value::Int(1 + i % n_taxa),
             ],
         )
         .unwrap();
         db.insert(
             "biosequence",
-            vec![Value::Int(i), Value::Int(i), Value::text(aa.repeat(2 + (i as usize % 4)))],
+            vec![
+                Value::Int(i),
+                Value::Int(i),
+                Value::text(aa.repeat(2 + (i as usize % 4))),
+            ],
         )
         .unwrap();
         for k in 0..2 {
@@ -117,8 +132,11 @@ fn biosql(dictionary_sizes_equal: bool) -> Database {
         .unwrap();
     }
     for t in 1..=n_taxa {
-        db.insert("taxon", vec![Value::Int(t), Value::text(format!("Species number {t}"))])
-            .unwrap();
+        db.insert(
+            "taxon",
+            vec![Value::Int(t), Value::text(format!("Species number {t}"))],
+        )
+        .unwrap();
     }
     db
 }
@@ -137,13 +155,22 @@ fn main() {
             .map(|p| format!("{}.{}", p.table, p.accession_column))
             .collect::<Vec<_>>()
             .join(", "),
-        primary.first().map(|p| p.in_degree.to_string()).unwrap_or_default(),
+        primary
+            .first()
+            .map(|p| p.in_degree.to_string())
+            .unwrap_or_default(),
         structure.secondary_relations.len().to_string(),
         structure.relationships.len().to_string(),
     ]];
     print_table(
         "Section 5 case study: BioSQL-like schema",
-        &["scenario", "chosen primary relation", "in-degree", "secondary relations", "relationships"],
+        &[
+            "scenario",
+            "chosen primary relation",
+            "in-degree",
+            "secondary relations",
+            "relationships",
+        ],
         &rows,
     );
     let ok = primary.len() == 1
@@ -159,8 +186,8 @@ fn main() {
         .relationships
         .iter()
         .filter(|r| {
-            (r.source_table == "bioentry_term" && r.target_table == "taxon")
-                || (r.source_table == "bioentry_term" && r.target_table == "ontologyterm")
+            r.source_table == "bioentry_term"
+                && (r.target_table == "taxon" || r.target_table == "ontologyterm")
         })
         .count();
     println!(
@@ -194,7 +221,12 @@ fn main() {
             .first()
             .map(|p| format!("{}.{}", p.table, p.accession_column))
             .unwrap_or_else(|| "-".into());
-        ablation_rows.push(vec![label.to_string(), candidates.len().to_string(), candidates.join(", "), chosen]);
+        ablation_rows.push(vec![
+            label.to_string(),
+            candidates.len().to_string(),
+            candidates.join(", "),
+            chosen,
+        ]);
     }
     print_table(
         "Accession-heuristic ablation on the BioSQL-like schema",

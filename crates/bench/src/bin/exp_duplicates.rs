@@ -44,7 +44,11 @@ fn main() {
     noisy.mutation_rate = 0.08;
     noisy.description_noise = 0.9;
     let noisy_corpus = Corpus::generate(&noisy);
-    rows.push(run(&noisy_corpus, DuplicateMeasure::TfIdf, "noisy duplicates (8% mutation)"));
+    rows.push(run(
+        &noisy_corpus,
+        DuplicateMeasure::TfIdf,
+        "noisy duplicates (8% mutation)",
+    ));
 
     // The three-flavour structure scenario from the case study.
     let mut flavours = CorpusConfig::small(31);
@@ -59,7 +63,14 @@ fn main() {
 
     print_table(
         "Duplicate detection (Section 4.5)",
-        &["scenario", "measure", "flagged pairs", "precision", "recall", "F1"],
+        &[
+            "scenario",
+            "measure",
+            "flagged pairs",
+            "precision",
+            "recall",
+            "F1",
+        ],
         &rows,
     );
 }

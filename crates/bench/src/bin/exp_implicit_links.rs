@@ -31,16 +31,21 @@ fn main() {
     // Sequence links protkb <-> archive: check how many hit a true homolog or
     // duplicate pair.
     let start = Instant::now();
-    let seq_links = discover_sequence_links(&archive, &s_archive, &protkb, &s_protkb, &config).unwrap();
+    let seq_links =
+        discover_sequence_links(&archive, &s_archive, &protkb, &s_protkb, &config).unwrap();
     let seq_elapsed = start.elapsed();
     let seq_correct = seq_links
         .iter()
         .filter(|l| {
-            corpus.truth.is_true_duplicate(&l.from.source, &l.from.accession, &l.to.source, &l.to.accession)
-                || corpus.truth.homologs.iter().any(|h| {
-                    (h.accession_a == l.from.accession && h.accession_b == l.to.accession)
-                        || (h.accession_a == l.to.accession && h.accession_b == l.from.accession)
-                })
+            corpus.truth.is_true_duplicate(
+                &l.from.source,
+                &l.from.accession,
+                &l.to.source,
+                &l.to.accession,
+            ) || corpus.truth.homologs.iter().any(|h| {
+                (h.accession_a == l.from.accession && h.accession_b == l.to.accession)
+                    || (h.accession_a == l.to.accession && h.accession_b == l.from.accession)
+            })
         })
         .count();
 
@@ -50,19 +55,34 @@ fn main() {
     let text_elapsed = start.elapsed();
     let text_correct = text_links
         .iter()
-        .filter(|l| corpus.truth.is_true_link(&l.from.source, &l.from.accession, &l.to.source, &l.to.accession))
+        .filter(|l| {
+            corpus.truth.is_true_link(
+                &l.from.source,
+                &l.from.accession,
+                &l.to.source,
+                &l.to.accession,
+            )
+        })
         .count();
 
     // Shared-term links protkb <-> genedb (both annotate GO terms).
     let start = Instant::now();
-    let term_links = discover_shared_term_links(&protkb, &s_protkb, &genedb, &s_genedb, &config).unwrap();
+    let term_links =
+        discover_shared_term_links(&protkb, &s_protkb, &genedb, &s_genedb, &config).unwrap();
     let term_elapsed = start.elapsed();
     let _ = &ontodb;
     let _ = &s_ontodb;
 
     print_table(
         "Implicit link discovery (Section 4.4)",
-        &["kind", "source pair", "links", "hitting a true relationship", "precision", "time ms"],
+        &[
+            "kind",
+            "source pair",
+            "links",
+            "hitting a true relationship",
+            "precision",
+            "time ms",
+        ],
         &[
             vec![
                 "sequence homology".into(),
@@ -116,8 +136,16 @@ fn main() {
         "Homology search ablation: k-mer seeded vs exhaustive Smith-Waterman",
         &["method", "hits", "time ms"],
         &[
-            vec!["seeded (BLAST-like)".into(), seeded_hits.to_string(), format!("{:.1}", seeded_time.as_secs_f64() * 1000.0)],
-            vec!["exact Smith-Waterman".into(), exact_hits.to_string(), format!("{:.1}", exact_time.as_secs_f64() * 1000.0)],
+            vec![
+                "seeded (BLAST-like)".into(),
+                seeded_hits.to_string(),
+                format!("{:.1}", seeded_time.as_secs_f64() * 1000.0),
+            ],
+            vec![
+                "exact Smith-Waterman".into(),
+                exact_hits.to_string(),
+                format!("{:.1}", exact_time.as_secs_f64() * 1000.0),
+            ],
         ],
     );
 }

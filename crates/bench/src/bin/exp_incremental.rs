@@ -37,8 +37,14 @@ fn main() {
     print_table(
         "Incremental source addition (Section 6.2)",
         &[
-            "#existing+1", "added source", "rows", "structure ms", "links ms", "dups ms",
-            "total ms", "new links",
+            "#existing+1",
+            "added source",
+            "rows",
+            "structure ms",
+            "links ms",
+            "dups ms",
+            "total ms",
+            "new links",
         ],
         &rows,
     );

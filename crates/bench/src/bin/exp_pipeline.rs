@@ -42,8 +42,17 @@ fn main() {
     print_table(
         "Figure 2 (measured): integration steps per source, in addition order",
         &[
-            "source", "tables", "rows", "import ms", "structure ms", "links ms", "dups ms",
-            "primary relation", "relationships", "links", "duplicates",
+            "source",
+            "tables",
+            "rows",
+            "import ms",
+            "structure ms",
+            "links ms",
+            "dups ms",
+            "primary relation",
+            "relationships",
+            "links",
+            "duplicates",
         ],
         &rows,
     );

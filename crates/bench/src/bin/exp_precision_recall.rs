@@ -16,8 +16,8 @@ fn run(config: &CorpusConfig, label: &str) -> Vec<String> {
     let structure = evaluate_structure(&aladin, &truth);
     let primary_correct = structure.iter().filter(|e| e.primary_correct).count();
     let accession_correct = structure.iter().filter(|e| e.accession_correct).count();
-    let secondary_recall: f64 = structure.iter().map(|e| e.secondary.recall()).sum::<f64>()
-        / structure.len().max(1) as f64;
+    let secondary_recall: f64 =
+        structure.iter().map(|e| e.secondary.recall()).sum::<f64>() / structure.len().max(1) as f64;
     let links = evaluate_links(&aladin, &truth);
 
     vec![
@@ -40,7 +40,10 @@ fn main() {
     for backlog in [0.0, 0.15, 0.4, 0.7] {
         let mut config = CorpusConfig::small(10);
         config.missing_xref_rate = backlog;
-        rows.push(run(&config, &format!("small corpus, backlog {:.0}%", backlog * 100.0)));
+        rows.push(run(
+            &config,
+            &format!("small corpus, backlog {:.0}%", backlog * 100.0),
+        ));
     }
     // Size sweep.
     rows.push(run(&CorpusConfig::medium(10), "medium corpus, backlog 15%"));
@@ -52,7 +55,10 @@ fn main() {
     // Multi-primary configuration.
     let mut two_primary = CorpusConfig::small(10);
     two_primary.two_primary_gene_db = true;
-    rows.push(run(&two_primary, "small corpus, two-primary genedb (single mode)"));
+    rows.push(run(
+        &two_primary,
+        "small corpus, two-primary genedb (single mode)",
+    ));
 
     print_table(
         "Precision/recall of the discovery steps (paper Sections 3 and 5)",

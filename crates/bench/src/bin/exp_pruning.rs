@@ -31,7 +31,11 @@ fn run(corpus: &Corpus, pruning: PruningConfig, label: &str) -> Vec<String> {
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::small(20));
     let rows = vec![
-        run(&corpus, PruningConfig::default(), "all pruning rules (paper)"),
+        run(
+            &corpus,
+            PruningConfig::default(),
+            "all pruning rules (paper)",
+        ),
         run(
             &corpus,
             PruningConfig {
@@ -48,11 +52,21 @@ fn main() {
             },
             "targets: all unique fields",
         ),
-        run(&corpus, PruningConfig::none(), "no pruning (all attribute pairs)"),
+        run(
+            &corpus,
+            PruningConfig::none(),
+            "no pruning (all attribute pairs)",
+        ),
     ];
     print_table(
         "Link-discovery pruning (Section 4.4)",
-        &["configuration", "attribute pairs compared", "integration time s", "xref precision", "xref recall"],
+        &[
+            "configuration",
+            "attribute pairs compared",
+            "integration time s",
+            "xref precision",
+            "xref recall",
+        ],
         &rows,
     );
 }

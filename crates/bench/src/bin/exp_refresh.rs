@@ -21,7 +21,11 @@ fn main() {
         let elapsed = start.elapsed();
         rows.push(vec![
             format!("{:.0}%", changed_fraction * 100.0),
-            if outcome.is_some() { "re-analysed".into() } else { "deferred".into() },
+            if outcome.is_some() {
+                "re-analysed".into()
+            } else {
+                "deferred".into()
+            },
             format!("{:.1}", elapsed.as_secs_f64() * 1000.0),
             outcome
                 .map(|r| (r.explicit_links + r.implicit_links).to_string())

@@ -27,20 +27,40 @@ fn srs_specs(corpus: &Corpus) -> Vec<SourceSpec> {
                 "protkb" => (
                     vec![("protkb_entry".to_string(), "de".to_string())],
                     vec![
-                        ("protkb_dr".to_string(), "value".to_string(), "structdb".to_string()),
-                        ("protkb_dr".to_string(), "value".to_string(), "genedb".to_string()),
-                        ("protkb_dr".to_string(), "value".to_string(), "ontodb".to_string()),
+                        (
+                            "protkb_dr".to_string(),
+                            "value".to_string(),
+                            "structdb".to_string(),
+                        ),
+                        (
+                            "protkb_dr".to_string(),
+                            "value".to_string(),
+                            "genedb".to_string(),
+                        ),
+                        (
+                            "protkb_dr".to_string(),
+                            "value".to_string(),
+                            "ontodb".to_string(),
+                        ),
                     ],
                     "entry_id".to_string(),
                 ),
                 "structdb" => (
                     vec![("structures".to_string(), "title".to_string())],
-                    vec![("dbxrefs".to_string(), "db_accession".to_string(), "protkb".to_string())],
+                    vec![(
+                        "dbxrefs".to_string(),
+                        "db_accession".to_string(),
+                        "protkb".to_string(),
+                    )],
                     "structure_id".to_string(),
                 ),
                 "genedb" => (
                     vec![("genes_description".to_string(), "content".to_string())],
-                    vec![("genes_xref".to_string(), "accession".to_string(), "protkb".to_string())],
+                    vec![(
+                        "genes_xref".to_string(),
+                        "accession".to_string(),
+                        "protkb".to_string(),
+                    )],
                     "parent_id".to_string(),
                 ),
                 _ => (vec![], vec![], String::new()),
@@ -102,12 +122,42 @@ fn main() {
         ],
     };
     let mappings = vec![
-        Mapping { source: "protkb".into(), table: "protkb_entry".into(), column: "ac".into(), global_attribute: "accession".into() },
-        Mapping { source: "protkb".into(), table: "protkb_entry".into(), column: "de".into(), global_attribute: "description".into() },
-        Mapping { source: "protkb".into(), table: "protkb_entry".into(), column: "os".into(), global_attribute: "organism".into() },
-        Mapping { source: "archive".into(), table: "archive_proteins".into(), column: "archive_id".into(), global_attribute: "accession".into() },
-        Mapping { source: "archive".into(), table: "archive_proteins".into(), column: "function_note".into(), global_attribute: "description".into() },
-        Mapping { source: "archive".into(), table: "archive_proteins".into(), column: "sequence".into(), global_attribute: "sequence".into() },
+        Mapping {
+            source: "protkb".into(),
+            table: "protkb_entry".into(),
+            column: "ac".into(),
+            global_attribute: "accession".into(),
+        },
+        Mapping {
+            source: "protkb".into(),
+            table: "protkb_entry".into(),
+            column: "de".into(),
+            global_attribute: "description".into(),
+        },
+        Mapping {
+            source: "protkb".into(),
+            table: "protkb_entry".into(),
+            column: "os".into(),
+            global_attribute: "organism".into(),
+        },
+        Mapping {
+            source: "archive".into(),
+            table: "archive_proteins".into(),
+            column: "archive_id".into(),
+            global_attribute: "accession".into(),
+        },
+        Mapping {
+            source: "archive".into(),
+            table: "archive_proteins".into(),
+            column: "function_note".into(),
+            global_attribute: "description".into(),
+        },
+        Mapping {
+            source: "archive".into(),
+            table: "archive_proteins".into(),
+            column: "sequence".into(),
+            global_attribute: "sequence".into(),
+        },
     ];
     let mediator = Mediator::build(schema, mappings, databases.iter().collect());
     let mediator_effort = mediator.effort();

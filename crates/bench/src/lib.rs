@@ -84,13 +84,26 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -122,7 +135,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into(), "long value".into()], vec!["2".into(), "x".into()]],
+            &[
+                vec!["1".into(), "long value".into()],
+                vec!["2".into(), "x".into()],
+            ],
         );
         assert_eq!(fmt3(0.12345), "0.123");
     }

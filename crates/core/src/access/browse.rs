@@ -7,7 +7,7 @@
 //! sources.
 
 use crate::error::{AladinError, AladinResult};
-use crate::metadata::{LinkKind, ObjectRef};
+use crate::metadata::{LinkAdjacency, LinkKind, Neighbour, ObjectRef};
 use crate::pipeline::Aladin;
 use crate::secondary::owner_accessions;
 use serde::{Deserialize, Serialize};
@@ -51,13 +51,282 @@ pub struct ObjectView {
     pub linked: Vec<(ObjectRef, LinkKind, f64)>,
 }
 
-/// The browse engine.
+/// Resolve an accession within a source to an object reference by scanning
+/// the source's primary relations.
+pub(crate) fn resolve_object(
+    aladin: &Aladin,
+    source: &str,
+    accession: &str,
+) -> AladinResult<ObjectRef> {
+    let structure = aladin
+        .metadata()
+        .structure(source)
+        .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
+    let db = aladin.database(source)?;
+    for primary in &structure.primary_relations {
+        let table = db.table(&primary.table)?;
+        let idx = table.column_index(&primary.accession_column)?;
+        if table.rows().iter().any(|r| r[idx].render() == accession) {
+            return Ok(ObjectRef::new(source, primary.table.clone(), accession));
+        }
+    }
+    Err(AladinError::UnknownObject(format!("{source}:{accession}")))
+}
+
+/// The `(column, value)` attribute pairs of an object's primary-relation row.
+pub(crate) fn object_attributes(
+    aladin: &Aladin,
+    object: &ObjectRef,
+) -> AladinResult<Vec<(String, String)>> {
+    let db = aladin.database(&object.source)?;
+    let structure = aladin
+        .metadata()
+        .structure(&object.source)
+        .ok_or_else(|| AladinError::UnknownSource(object.source.clone()))?;
+    let primary = structure
+        .primary_relations
+        .iter()
+        .find(|p| p.table.eq_ignore_ascii_case(&object.table))
+        .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+    let table = db.table(&primary.table)?;
+    let acc_idx = table.column_index(&primary.accession_column)?;
+    let row = table
+        .rows()
+        .iter()
+        .find(|r| r[acc_idx].render() == object.accession)
+        .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+    Ok(table
+        .schema()
+        .columns()
+        .iter()
+        .zip(row)
+        .filter(|(_, v)| !v.is_null())
+        .map(|(c, v)| (c.name.clone(), v.render()))
+        .collect())
+}
+
+/// The secondary-annotation rows owned by an object, optionally restricted to
+/// one secondary table.
+pub(crate) fn object_annotation(
+    aladin: &Aladin,
+    object: &ObjectRef,
+    only_table: Option<&str>,
+) -> AladinResult<Vec<AnnotationRow>> {
+    let db = aladin.database(&object.source)?;
+    let structure = aladin
+        .metadata()
+        .structure(&object.source)
+        .ok_or_else(|| AladinError::UnknownSource(object.source.clone()))?;
+    let mut annotation = Vec::new();
+    for secondary in &structure.secondary_relations {
+        if secondary.path.is_empty() {
+            continue;
+        }
+        if let Some(t) = only_table {
+            if !secondary.table.eq_ignore_ascii_case(t) {
+                continue;
+            }
+        }
+        let sec_table = match db.table(&secondary.table) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let owners = owner_accessions(
+            db,
+            &structure.primary_relations,
+            &structure.secondary_relations,
+            &structure.relationships,
+            &secondary.table,
+        )
+        .unwrap_or_else(|_| vec![None; sec_table.row_count()]);
+        for (i, row) in sec_table.rows().iter().enumerate() {
+            if owners.get(i).cloned().flatten().as_deref() == Some(object.accession.as_str()) {
+                annotation.push(AnnotationRow {
+                    table: secondary.table.clone(),
+                    values: sec_table
+                        .schema()
+                        .columns()
+                        .iter()
+                        .zip(row)
+                        .filter(|(_, v)| !v.is_null())
+                        .map(|(c, v)| (c.name.clone(), v.render()))
+                        .collect(),
+                });
+            }
+        }
+    }
+    Ok(annotation)
+}
+
+/// Annotation rows of one secondary table grouped by owning accession: one
+/// owner derivation and one table scan for the whole batch, instead of one
+/// per object.
+pub(crate) fn annotation_by_owner(
+    aladin: &Aladin,
+    source: &str,
+    table: &str,
+) -> AladinResult<std::collections::HashMap<String, Vec<AnnotationRow>>> {
+    let db = aladin.database(source)?;
+    let structure = aladin
+        .metadata()
+        .structure(source)
+        .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
+    let mut by_owner: std::collections::HashMap<String, Vec<AnnotationRow>> =
+        std::collections::HashMap::new();
+    for secondary in &structure.secondary_relations {
+        if secondary.path.is_empty() || !secondary.table.eq_ignore_ascii_case(table) {
+            continue;
+        }
+        let sec_table = match db.table(&secondary.table) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let owners = owner_accessions(
+            db,
+            &structure.primary_relations,
+            &structure.secondary_relations,
+            &structure.relationships,
+            &secondary.table,
+        )
+        .unwrap_or_else(|_| vec![None; sec_table.row_count()]);
+        for (i, row) in sec_table.rows().iter().enumerate() {
+            if let Some(owner) = owners.get(i).cloned().flatten() {
+                by_owner.entry(owner).or_default().push(AnnotationRow {
+                    table: secondary.table.clone(),
+                    values: sec_table
+                        .schema()
+                        .columns()
+                        .iter()
+                        .zip(row)
+                        .filter(|(_, v)| !v.is_null())
+                        .map(|(c, v)| (c.name.clone(), v.render()))
+                        .collect(),
+                });
+            }
+        }
+    }
+    Ok(by_owner)
+}
+
+/// Build the full browsable view of one object given its link neighbourhood
+/// (from the cached adjacency, or a one-off `links_of` scan).
+pub(crate) fn object_view(
+    aladin: &Aladin,
+    neighbours: &[Neighbour],
+    object: &ObjectRef,
+    same_relation_limit: usize,
+) -> AladinResult<ObjectView> {
+    let source = &object.source;
+    let structure = aladin
+        .metadata()
+        .structure(source)
+        .ok_or_else(|| AladinError::UnknownSource(source.clone()))?;
+    let db = aladin.database(source)?;
+    let primary = structure
+        .primary_relations
+        .iter()
+        .find(|p| p.table.eq_ignore_ascii_case(&object.table))
+        .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+
+    let table = db.table(&primary.table)?;
+    let acc_idx = table.column_index(&primary.accession_column)?;
+    let row_idx = table
+        .rows()
+        .iter()
+        .position(|r| r[acc_idx].render() == object.accession)
+        .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
+
+    // Attributes of the primary row.
+    let attributes: Vec<(String, String)> = table
+        .schema()
+        .columns()
+        .iter()
+        .zip(&table.rows()[row_idx])
+        .filter(|(_, v)| !v.is_null())
+        .map(|(c, v)| (c.name.clone(), v.render()))
+        .collect();
+
+    // Same-relation neighbours.
+    let same_relation: Vec<ObjectRef> = table
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != row_idx)
+        .take(same_relation_limit)
+        .map(|(_, r)| ObjectRef::new(source, primary.table.clone(), r[acc_idx].render()))
+        .collect();
+
+    // Dependency neighbours: rows of secondary tables owned by this object.
+    let annotation = object_annotation(aladin, object, None)?;
+
+    // Duplicates and cross-source links from the supplied neighbourhood.
+    let mut duplicates = Vec::new();
+    let mut linked = Vec::new();
+    for n in neighbours {
+        if n.kind == LinkKind::Duplicate {
+            duplicates.push((n.object.clone(), n.score));
+        } else {
+            linked.push((n.object.clone(), n.kind, n.score));
+        }
+    }
+    duplicates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    linked.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+
+    Ok(ObjectView {
+        object: object.clone(),
+        attributes,
+        annotation,
+        same_relation,
+        duplicates,
+        linked,
+    })
+}
+
+/// Follow links transitively from a start object up to the given depth over a
+/// prebuilt adjacency, returning the reachable objects (breadth-first,
+/// excluding the start). This is the "web of biological objects" traversal of
+/// the introduction.
+pub(crate) fn reachable_from(
+    adjacency: &LinkAdjacency,
+    start: &ObjectRef,
+    depth: usize,
+) -> Vec<ObjectRef> {
+    use std::collections::{HashSet, VecDeque};
+    let mut seen: HashSet<ObjectRef> = HashSet::new();
+    let mut queue: VecDeque<(ObjectRef, usize)> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back((start.clone(), 0));
+    let mut out = Vec::new();
+    while let Some((current, d)) = queue.pop_front() {
+        if d >= depth {
+            continue;
+        }
+        for n in adjacency.neighbours(&current) {
+            if seen.insert(n.object.clone()) {
+                out.push(n.object.clone());
+                queue.push_back((n.object.clone(), d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// The browse engine: a thin shim over the shared browse routines, kept so
+/// existing callers compile. New code should use
+/// [`crate::access::Warehouse`], which additionally reuses a cached link
+/// adjacency across calls.
+#[deprecated(note = "use `Warehouse` — it serves the same views from cached access structures")]
 pub struct BrowseEngine<'a> {
     aladin: &'a Aladin,
     /// How many same-relation neighbours to show.
     pub same_relation_limit: usize,
 }
 
+#[allow(deprecated)]
 impl<'a> BrowseEngine<'a> {
     /// Create a browse engine over an integrated warehouse.
     pub fn new(aladin: &'a Aladin) -> BrowseEngine<'a> {
@@ -69,167 +338,44 @@ impl<'a> BrowseEngine<'a> {
 
     /// Resolve an accession within a source to an object reference.
     pub fn find_object(&self, source: &str, accession: &str) -> AladinResult<ObjectRef> {
-        let structure = self
-            .aladin
-            .metadata()
-            .structure(source)
-            .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
-        let db = self.aladin.database(source)?;
-        for primary in &structure.primary_relations {
-            let table = db.table(&primary.table)?;
-            let idx = table.column_index(&primary.accession_column)?;
-            if table
-                .rows()
-                .iter()
-                .any(|r| r[idx].render() == accession)
-            {
-                return Ok(ObjectRef::new(source, primary.table.clone(), accession));
-            }
-        }
-        Err(AladinError::UnknownObject(format!("{source}:{accession}")))
+        resolve_object(self.aladin, source, accession)
     }
 
     /// Build the full view of one object.
     pub fn view(&self, object: &ObjectRef) -> AladinResult<ObjectView> {
-        let source = &object.source;
-        let structure = self
+        // One filtered scan over the link set for this single object; the
+        // cached-adjacency path belongs to `Warehouse`.
+        let neighbours: Vec<Neighbour> = self
             .aladin
             .metadata()
-            .structure(source)
-            .ok_or_else(|| AladinError::UnknownSource(source.clone()))?;
-        let db = self.aladin.database(source)?;
-        let primary = structure
-            .primary_relations
-            .iter()
-            .find(|p| p.table.eq_ignore_ascii_case(&object.table))
-            .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
-
-        let table = db.table(&primary.table)?;
-        let acc_idx = table.column_index(&primary.accession_column)?;
-        let row_idx = table
-            .rows()
-            .iter()
-            .position(|r| r[acc_idx].render() == object.accession)
-            .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
-
-        // Attributes of the primary row.
-        let attributes: Vec<(String, String)> = table.schema()
-            .columns()
-            .iter()
-            .zip(&table.rows()[row_idx])
-            .filter(|(_, v)| !v.is_null())
-            .map(|(c, v)| (c.name.clone(), v.render()))
-            .collect();
-
-        // Same-relation neighbours.
-        let same_relation: Vec<ObjectRef> = table
-            .rows()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != row_idx)
-            .take(self.same_relation_limit)
-            .map(|(_, r)| ObjectRef::new(source, primary.table.clone(), r[acc_idx].render()))
-            .collect();
-
-        // Dependency neighbours: rows of secondary tables owned by this object.
-        let mut annotation = Vec::new();
-        for secondary in &structure.secondary_relations {
-            if secondary.path.is_empty() {
-                continue;
-            }
-            let sec_table = match db.table(&secondary.table) {
-                Ok(t) => t,
-                Err(_) => continue,
-            };
-            let owners = owner_accessions(
-                db,
-                &structure.primary_relations,
-                &structure.secondary_relations,
-                &structure.relationships,
-                &secondary.table,
-            )
-            .unwrap_or_else(|_| vec![None; sec_table.row_count()]);
-            for (i, row) in sec_table.rows().iter().enumerate() {
-                if owners.get(i).cloned().flatten().as_deref() == Some(object.accession.as_str()) {
-                    annotation.push(AnnotationRow {
-                        table: secondary.table.clone(),
-                        values: sec_table
-                            .schema()
-                            .columns()
-                            .iter()
-                            .zip(row)
-                            .filter(|(_, v)| !v.is_null())
-                            .map(|(c, v)| (c.name.clone(), v.render()))
-                            .collect(),
-                    });
-                }
-            }
-        }
-
-        // Duplicates and cross-source links from the metadata repository.
-        let mut duplicates = Vec::new();
-        let mut linked = Vec::new();
-        for link in self.aladin.metadata().links_of(object) {
-            let other = if &link.from == object {
-                link.to.clone()
-            } else {
-                link.from.clone()
-            };
-            if link.kind == LinkKind::Duplicate {
-                duplicates.push((other, link.score));
-            } else {
-                linked.push((other, link.kind, link.score));
-            }
-        }
-        duplicates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        linked.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-
-        Ok(ObjectView {
-            object: object.clone(),
-            attributes,
-            annotation,
-            same_relation,
-            duplicates,
-            linked,
-        })
-    }
-
-    /// Follow links transitively from a start object up to the given depth,
-    /// returning the set of reachable objects (breadth-first, excluding the
-    /// start). This is the "web of biological objects" traversal of the
-    /// introduction.
-    pub fn reachable(&self, start: &ObjectRef, depth: usize) -> Vec<ObjectRef> {
-        use std::collections::{HashSet, VecDeque};
-        let mut seen: HashSet<ObjectRef> = HashSet::new();
-        let mut queue: VecDeque<(ObjectRef, usize)> = VecDeque::new();
-        seen.insert(start.clone());
-        queue.push_back((start.clone(), 0));
-        let mut out = Vec::new();
-        while let Some((current, d)) = queue.pop_front() {
-            if d >= depth {
-                continue;
-            }
-            for link in self.aladin.metadata().links_of(&current) {
-                let other = if link.from == current {
+            .links_of(object)
+            .into_iter()
+            .map(|link| {
+                let other = if &link.from == object {
                     link.to.clone()
                 } else {
                     link.from.clone()
                 };
-                if seen.insert(other.clone()) {
-                    out.push(other.clone());
-                    queue.push_back((other, d + 1));
+                Neighbour {
+                    object: other,
+                    kind: link.kind,
+                    score: link.score,
                 }
-            }
-        }
-        out
+            })
+            .collect();
+        object_view(self.aladin, &neighbours, object, self.same_relation_limit)
+    }
+
+    /// Follow links transitively from a start object up to the given depth,
+    /// returning the set of reachable objects (breadth-first, excluding the
+    /// start).
+    pub fn reachable(&self, start: &ObjectRef, depth: usize) -> Vec<ObjectRef> {
+        reachable_from(&self.aladin.metadata().build_adjacency(), start, depth)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::AladinConfig;
@@ -264,9 +410,13 @@ mod tests {
                 ]),
             )
             .unwrap();
-        for (i, desc) in ["serine kinase enzyme", "sugar transporter protein", "ribosome factor"]
-            .iter()
-            .enumerate()
+        for (i, desc) in [
+            "serine kinase enzyme",
+            "sugar transporter protein",
+            "ribosome factor",
+        ]
+        .iter()
+        .enumerate()
         {
             protkb
                 .insert(

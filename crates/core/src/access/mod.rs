@@ -1,10 +1,62 @@
-//! The data-access engine: browsing, searching and querying the integrated
-//! warehouse (paper, Section 4.6).
+//! The data-access layer: one composable interface over browsing, searching
+//! and querying the integrated warehouse (paper, Section 4.6).
+//!
+//! # The [`Warehouse`] facade
+//!
+//! All read access goes through [`Warehouse`], which owns the integration
+//! pipeline plus lazily-built, automatically-invalidated caches (search
+//! index, link-adjacency map, accession row indexes). The paper's three
+//! access modes map onto it directly:
+//!
+//! * **Browsing** — [`Warehouse::find_object`], [`Warehouse::view`] (the four
+//!   neighbour kinds of Section 4.6) and [`Warehouse::reachable`].
+//! * **Search** — [`Warehouse::search_hits`] and its source/field-partition
+//!   variants, ranked by the `aladin-textmine` inverted index.
+//! * **Querying** — [`Warehouse::sql`] over the imported schemata,
+//!   [`Warehouse::join_path`] along discovered paths, and
+//!   [`Warehouse::cross_source_objects`] following discovered links.
+//!
+//! # Composable queries
+//!
+//! The modes compose through [`ObjectQuery`]: seed from a scan
+//! ([`Warehouse::scan`]), a keyword search ([`Warehouse::search`]) or an
+//! accession lookup ([`Warehouse::accession`]), then chain filters, link
+//! traversals and annotation joins, and terminate with a materialized fetch,
+//! a paginated [`ObjectCursor`], or a compiled relstore plan:
+//!
+//! ```no_run
+//! # use aladin_core::access::{AttrFilter, Warehouse};
+//! # use aladin_core::metadata::LinkKind;
+//! # let warehouse = Warehouse::with_defaults();
+//! let pages = warehouse
+//!     .search("serine kinase")                       // ranked seeds
+//!     .follow_links(Some(LinkKind::ExplicitCrossRef), 1)
+//!     .from_source("structdb")                       // keep linked structures
+//!     .filter(AttrFilter::contains("title", "kinase"))
+//!     .join_annotation("chains")
+//!     .cursor(25)?;                                  // stream in pages of 25
+//! # for page in pages { page?; }
+//! # Ok::<(), aladin_core::AladinError>(())
+//! ```
+//!
+//! # Legacy engines
+//!
+//! The former per-mode engines ([`BrowseEngine`], [`SearchEngine`],
+//! [`QueryEngine`]) remain as thin deprecated shims over the same internals
+//! so existing callers keep compiling, but they rebuild access structures on
+//! every call — migrate to [`Warehouse`].
 
 pub mod browse;
 pub mod query;
 pub mod search;
+pub mod warehouse;
 
-pub use browse::{BrowseEngine, NeighbourKind, ObjectView};
+#[allow(deprecated)]
+pub use browse::BrowseEngine;
+pub use browse::{AnnotationRow, NeighbourKind, ObjectView};
+#[allow(deprecated)]
 pub use query::QueryEngine;
+#[allow(deprecated)]
 pub use search::SearchEngine;
+pub use search::{ObjectHit, SearchIndex};
+pub use warehouse::{AttrFilter, ObjectCursor, ObjectQuery, ObjectRecord, RecordOrigin, Warehouse};

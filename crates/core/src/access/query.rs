@@ -10,15 +10,103 @@
 //! queries of Section 6 by following discovered object links.
 
 use crate::error::{AladinError, AladinResult};
-use crate::metadata::{LinkKind, ObjectRef};
+use crate::metadata::{LinkAdjacency, LinkKind, ObjectRef};
 use crate::pipeline::Aladin;
 use aladin_relstore::{exec, sql, LogicalPlan, Table};
 
-/// The query engine.
+/// Run a SQL query against the imported schema of one source.
+pub(crate) fn run_sql(aladin: &Aladin, source: &str, query: &str) -> AladinResult<Table> {
+    let db = aladin.database(source)?;
+    let plan = sql::parse(query)?;
+    Ok(exec::execute(db, &plan)?)
+}
+
+/// Build a logical plan joining the primary relation of a source to one of
+/// its secondary tables along the discovered path (inner joins on the guessed
+/// relationship columns).
+pub(crate) fn build_join_path_plan(
+    aladin: &Aladin,
+    source: &str,
+    secondary_table: &str,
+) -> AladinResult<LogicalPlan> {
+    let structure = aladin
+        .metadata()
+        .structure(source)
+        .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
+    let secondary = structure.secondary(secondary_table).ok_or_else(|| {
+        AladinError::Discovery(format!("table '{secondary_table}' has no discovered path"))
+    })?;
+    if secondary.path.len() < 2 {
+        return Err(AladinError::Discovery(format!(
+            "table '{secondary_table}' is not connected to a primary relation"
+        )));
+    }
+    let mut plan = LogicalPlan::scan(secondary.path[0].clone());
+    for window in secondary.path.windows(2) {
+        let (left, right) = (&window[0], &window[1]);
+        let rel = crate::secondary::find_relationship(&structure.relationships, left, right)
+            .ok_or_else(|| {
+                AladinError::Discovery(format!("no relationship between '{left}' and '{right}'"))
+            })?;
+        let (left_col, right_col) = if rel.source_table.eq_ignore_ascii_case(right) {
+            (rel.target_column.clone(), rel.source_column.clone())
+        } else {
+            (rel.source_column.clone(), rel.target_column.clone())
+        };
+        plan = plan.join(
+            LogicalPlan::scan(right.clone()),
+            left_col,
+            right_col,
+            left.clone(),
+            right.clone(),
+        );
+    }
+    Ok(plan)
+}
+
+/// Cross-source object query over a prebuilt adjacency map. One adjacency
+/// build is `O(links)`; the per-object neighbour lookups afterwards are
+/// `O(degree)` — replacing the old per-start-object rescan of the entire link
+/// set, which made the query quadratic in practice.
+pub(crate) fn cross_source_over(
+    aladin: &Aladin,
+    adjacency: &LinkAdjacency,
+    start_source: &str,
+    target_source: &str,
+) -> AladinResult<Vec<(ObjectRef, ObjectRef, usize)>> {
+    let starts = aladin.objects_of(start_source)?;
+    // Ensure the target source exists (error reporting parity).
+    let _ = aladin.database(target_source)?;
+    let mut out = Vec::new();
+    for start in starts {
+        use std::collections::HashMap;
+        let mut counts: HashMap<&ObjectRef, usize> = HashMap::new();
+        for n in adjacency.neighbours(&start) {
+            if n.kind == LinkKind::Duplicate {
+                continue;
+            }
+            if n.object.source == target_source {
+                *counts.entry(&n.object).or_insert(0) += 1;
+            }
+        }
+        for (target, evidence) in counts {
+            out.push((start.clone(), target.clone(), evidence));
+        }
+    }
+    out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    Ok(out)
+}
+
+/// The query engine: a thin shim over the shared query routines, kept so
+/// existing callers compile. New code should use
+/// [`crate::access::Warehouse`], which reuses a cached link adjacency for
+/// cross-source queries instead of rebuilding one per call.
+#[deprecated(note = "use `Warehouse` — it serves the same queries from cached access structures")]
 pub struct QueryEngine<'a> {
     aladin: &'a Aladin,
 }
 
+#[allow(deprecated)]
 impl<'a> QueryEngine<'a> {
     /// Create a query engine over an integrated warehouse.
     pub fn new(aladin: &'a Aladin) -> QueryEngine<'a> {
@@ -27,51 +115,14 @@ impl<'a> QueryEngine<'a> {
 
     /// Run a SQL query against the imported schema of one source.
     pub fn sql(&self, source: &str, query: &str) -> AladinResult<Table> {
-        let db = self.aladin.database(source)?;
-        let plan = sql::parse(query)?;
-        Ok(exec::execute(db, &plan)?)
+        run_sql(self.aladin, source, query)
     }
 
     /// Build a logical plan joining the primary relation of a source to one of
     /// its secondary tables along the discovered path (inner joins on the
     /// guessed relationship columns).
     pub fn join_path_plan(&self, source: &str, secondary_table: &str) -> AladinResult<LogicalPlan> {
-        let structure = self
-            .aladin
-            .metadata()
-            .structure(source)
-            .ok_or_else(|| AladinError::UnknownSource(source.to_string()))?;
-        let secondary = structure.secondary(secondary_table).ok_or_else(|| {
-            AladinError::Discovery(format!("table '{secondary_table}' has no discovered path"))
-        })?;
-        if secondary.path.len() < 2 {
-            return Err(AladinError::Discovery(format!(
-                "table '{secondary_table}' is not connected to a primary relation"
-            )));
-        }
-        let mut plan = LogicalPlan::scan(secondary.path[0].clone());
-        for window in secondary.path.windows(2) {
-            let (left, right) = (&window[0], &window[1]);
-            let rel = crate::secondary::find_relationship(&structure.relationships, left, right)
-                .ok_or_else(|| {
-                    AladinError::Discovery(format!(
-                        "no relationship between '{left}' and '{right}'"
-                    ))
-                })?;
-            let (left_col, right_col) = if rel.source_table.eq_ignore_ascii_case(right) {
-                (rel.target_column.clone(), rel.source_column.clone())
-            } else {
-                (rel.source_column.clone(), rel.target_column.clone())
-            };
-            plan = plan.join(
-                LogicalPlan::scan(right.clone()),
-                left_col,
-                right_col,
-                left.clone(),
-                right.clone(),
-            );
-        }
-        Ok(plan)
+        build_join_path_plan(self.aladin, source, secondary_table)
     }
 
     /// Execute the path-guided join for a source and secondary table.
@@ -92,36 +143,13 @@ impl<'a> QueryEngine<'a> {
         start_source: &str,
         target_source: &str,
     ) -> AladinResult<Vec<(ObjectRef, ObjectRef, usize)>> {
-        let starts = self.aladin.objects_of(start_source)?;
-        // Ensure the target source exists (error reporting parity).
-        let _ = self.aladin.database(target_source)?;
-        let mut out = Vec::new();
-        for start in starts {
-            use std::collections::HashMap;
-            let mut counts: HashMap<ObjectRef, usize> = HashMap::new();
-            for link in self.aladin.metadata().links_of(&start) {
-                if link.kind == LinkKind::Duplicate {
-                    continue;
-                }
-                let other = if link.from == start {
-                    link.to.clone()
-                } else {
-                    link.from.clone()
-                };
-                if other.source == target_source {
-                    *counts.entry(other).or_insert(0) += 1;
-                }
-            }
-            for (target, evidence) in counts {
-                out.push((start.clone(), target, evidence));
-            }
-        }
-        out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
-        Ok(out)
+        let adjacency = self.aladin.metadata().build_adjacency();
+        cross_source_over(self.aladin, &adjacency, start_source, target_source)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::AladinConfig;
@@ -181,10 +209,17 @@ mod tests {
         structdb
             .create_table(
                 "structures",
-                TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                ]),
             )
             .unwrap();
-        for (acc, t) in [("1ABC", "kinase fold"), ("2DEF", "transporter fold"), ("3GHI", "other fold")] {
+        for (acc, t) in [
+            ("1ABC", "kinase fold"),
+            ("2DEF", "transporter fold"),
+            ("3GHI", "other fold"),
+        ] {
             structdb
                 .insert("structures", vec![Value::text(acc), Value::text(t)])
                 .unwrap();
@@ -198,7 +233,10 @@ mod tests {
         let aladin = warehouse();
         let q = QueryEngine::new(&aladin);
         let result = q
-            .sql("protkb", "SELECT ac FROM protkb_entry WHERE ac LIKE 'P%' ORDER BY ac")
+            .sql(
+                "protkb",
+                "SELECT ac FROM protkb_entry WHERE ac LIKE 'P%' ORDER BY ac",
+            )
             .unwrap();
         assert_eq!(result.row_count(), 3);
         assert_eq!(result.cell(0, "ac").unwrap().render(), "P10001");

@@ -25,16 +25,26 @@ pub struct ObjectHit {
     pub score: f64,
 }
 
-/// The search engine: an inverted index over every textual field of every
-/// primary object (including its secondary annotation), built once from the
-/// warehouse.
-pub struct SearchEngine {
+/// The search index: an inverted index over every textual field of every
+/// primary object (including its secondary annotation), built from one
+/// generation of the warehouse.
+///
+/// [`crate::access::Warehouse`] owns a lazily-built cached instance and
+/// rebuilds it automatically when sources change; build one directly only
+/// when managing caching yourself.
+pub struct SearchIndex {
     index: InvertedIndex,
 }
 
-impl SearchEngine {
+/// Former name of [`SearchIndex`], kept so existing callers compile.
+#[deprecated(
+    note = "access search through `Warehouse`, which caches and invalidates the index automatically"
+)]
+pub type SearchEngine = SearchIndex;
+
+impl SearchIndex {
     /// Build the index over the current state of the warehouse.
-    pub fn build(aladin: &Aladin) -> AladinResult<SearchEngine> {
+    pub fn build(aladin: &Aladin) -> AladinResult<SearchIndex> {
         let mut index = InvertedIndex::new();
         for source in aladin.source_names() {
             let db = aladin.database(source)?;
@@ -78,12 +88,17 @@ impl SearchEngine {
                     }
                     if let Some(owner) = owners.get(row_idx).cloned().flatten() {
                         let doc_id = format!("{source}\u{1}{primary_table}\u{1}{owner}");
-                        index.add_document(doc_id, source, format!("{}.{}", cs.table, cs.column), &v.render());
+                        index.add_document(
+                            doc_id,
+                            source,
+                            format!("{}.{}", cs.table, cs.column),
+                            &v.render(),
+                        );
                     }
                 }
             }
         }
-        Ok(SearchEngine { index })
+        Ok(SearchIndex { index })
     }
 
     /// Number of indexed documents (field values).
@@ -93,7 +108,10 @@ impl SearchEngine {
 
     /// Full-text search over all sources.
     pub fn search(&self, query: &str, top_k: usize) -> Vec<ObjectHit> {
-        self.resolve(self.index.search(query, top_k * 3, &SearchFilter::any()), top_k)
+        self.resolve(
+            self.index.search(query, top_k * 3, &SearchFilter::any()),
+            top_k,
+        )
     }
 
     /// Focused search restricted to one source (horizontal partition).
@@ -194,15 +212,25 @@ mod tests {
             protkb
                 .insert(
                     "protkb_entry",
-                    vec![Value::Int(i as i64 + 1), Value::text(*acc), Value::text(*de)],
+                    vec![
+                        Value::Int(i as i64 + 1),
+                        Value::text(*acc),
+                        Value::text(*de),
+                    ],
                 )
                 .unwrap();
         }
         protkb
-            .insert("protkb_kw", vec![Value::Int(1), Value::Int(3), Value::text("Kinase")])
+            .insert(
+                "protkb_kw",
+                vec![Value::Int(1), Value::Int(3), Value::text("Kinase")],
+            )
             .unwrap();
         protkb
-            .insert("protkb_kw", vec![Value::Int(2), Value::Int(2), Value::text("Transport")])
+            .insert(
+                "protkb_kw",
+                vec![Value::Int(2), Value::Int(2), Value::text("Transport")],
+            )
             .unwrap();
         aladin.add_database(protkb).unwrap();
 
@@ -210,19 +238,28 @@ mod tests {
         structdb
             .create_table(
                 "structures",
-                TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                ]),
             )
             .unwrap();
         structdb
             .insert(
                 "structures",
-                vec![Value::text("1ABC"), Value::text("crystal structure of a kinase domain")],
+                vec![
+                    Value::text("1ABC"),
+                    Value::text("crystal structure of a kinase domain"),
+                ],
             )
             .unwrap();
         structdb
             .insert(
                 "structures",
-                vec![Value::text("2DEF"), Value::text("solution structure of a transporter")],
+                vec![
+                    Value::text("2DEF"),
+                    Value::text("solution structure of a transporter"),
+                ],
             )
             .unwrap();
         aladin.add_database(structdb).unwrap();
@@ -232,7 +269,7 @@ mod tests {
     #[test]
     fn search_ranks_matching_objects_across_sources() {
         let aladin = warehouse();
-        let engine = SearchEngine::build(&aladin).unwrap();
+        let engine = SearchIndex::build(&aladin).unwrap();
         assert!(engine.document_count() > 5);
         let hits = engine.search("kinase", 10);
         assert!(hits.len() >= 2);
@@ -246,7 +283,7 @@ mod tests {
     #[test]
     fn source_partition_restricts_results() {
         let aladin = warehouse();
-        let engine = SearchEngine::build(&aladin).unwrap();
+        let engine = SearchIndex::build(&aladin).unwrap();
         let hits = engine.search_source("kinase", "structdb", 10);
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|h| h.object.source == "structdb"));
@@ -255,7 +292,7 @@ mod tests {
     #[test]
     fn field_partition_restricts_results() {
         let aladin = warehouse();
-        let engine = SearchEngine::build(&aladin).unwrap();
+        let engine = SearchIndex::build(&aladin).unwrap();
         let hits = engine.search_field("kinase", "protkb_kw.value", 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].object.accession, "P10003");
@@ -264,7 +301,7 @@ mod tests {
     #[test]
     fn objects_with_multiple_matching_fields_rank_higher() {
         let aladin = warehouse();
-        let engine = SearchEngine::build(&aladin).unwrap();
+        let engine = SearchIndex::build(&aladin).unwrap();
         let hits = engine.search("transporter transport glucose membrane", 10);
         assert!(!hits.is_empty());
         assert_eq!(hits[0].object.accession, "P10002");
@@ -273,7 +310,7 @@ mod tests {
     #[test]
     fn no_match_returns_empty() {
         let aladin = warehouse();
-        let engine = SearchEngine::build(&aladin).unwrap();
+        let engine = SearchIndex::build(&aladin).unwrap();
         assert!(engine.search("zebrafish telomerase", 5).is_empty());
     }
 }

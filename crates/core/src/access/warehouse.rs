@@ -1,0 +1,1330 @@
+//! The unified warehouse access facade.
+//!
+//! [`Warehouse`] is the single entry point for all read access to an
+//! integrated ALADIN warehouse. It composes the three access modes of the
+//! paper's Section 4.6 — browsing, ranked keyword search, and structured
+//! queries — behind one type, and owns the cached access structures that make
+//! serving them cheap:
+//!
+//! * a lazily-built [`SearchIndex`] over every textual field,
+//! * a prebuilt [`LinkAdjacency`] map over every discovered link, and
+//! * per-source accession→row indexes for `O(1)` object materialization.
+//!
+//! All three are stamped with the [`MetadataRepository`] generation they were
+//! built from and rebuilt automatically the first time they are used after a
+//! source is added or refreshed — stale results are impossible and no manual
+//! rebuild call exists.
+//!
+//! The composable query layer is [`ObjectQuery`]: start from a full scan
+//! ([`Warehouse::scan`]), a keyword search ([`Warehouse::search`]) or an
+//! accession lookup ([`Warehouse::accession`]); chain
+//! [`ObjectQuery::filter`], [`ObjectQuery::follow_links`],
+//! [`ObjectQuery::from_source`], [`ObjectQuery::join_annotation`],
+//! [`ObjectQuery::limit`]/[`ObjectQuery::offset`]; terminate with
+//! [`ObjectQuery::fetch`] (materialized records), [`ObjectQuery::cursor`]
+//! (paginated streaming for heavy-traffic serving) or [`ObjectQuery::plan`]
+//! (compile to a relstore [`LogicalPlan`] for inspection or reuse).
+//!
+//! ```
+//! use aladin_core::access::Warehouse;
+//! # use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+//! let mut warehouse = Warehouse::with_defaults();
+//! # let mut db = Database::new("protkb");
+//! # db.create_table("protkb_entry", TableSchema::of(vec![
+//! #     ColumnDef::int("entry_id"), ColumnDef::text("ac"), ColumnDef::text("de"),
+//! # ])).unwrap();
+//! # db.insert("protkb_entry", vec![Value::Int(1), Value::text("P10001"),
+//! #     Value::text("serine kinase")]).unwrap();
+//! # db.insert("protkb_entry", vec![Value::Int(2), Value::text("P10002"),
+//! #     Value::text("sugar transporter")]).unwrap();
+//! warehouse.add_database(db).unwrap();
+//! let kinases = warehouse
+//!     .search("kinase")
+//!     .from_source("protkb")
+//!     .limit(10)
+//!     .fetch()
+//!     .unwrap();
+//! assert_eq!(kinases[0].object.accession, "P10001");
+//! ```
+
+use crate::access::browse::{
+    self, object_attributes, object_view, reachable_from, resolve_object, ObjectView,
+};
+use crate::access::query::{build_join_path_plan, cross_source_over, run_sql};
+use crate::access::search::{ObjectHit, SearchIndex};
+use crate::config::AladinConfig;
+use crate::error::{AladinError, AladinResult};
+use crate::metadata::{LinkAdjacency, LinkKind, MetadataRepository, ObjectRef};
+use crate::pipeline::{Aladin, IntegrationReport, LinkDiscoveryPlan};
+use aladin_import::SourceFormat;
+use aladin_relstore::expr::like_match;
+use aladin_relstore::plan::SortKey;
+use aladin_relstore::{Database, Expr, LogicalPlan, Table, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, RwLock};
+
+/// Default number of ranked hits a search-rooted [`ObjectQuery`] starts from.
+const DEFAULT_SEARCH_LIMIT: usize = 50;
+
+// ---------------------------------------------------------------------------
+// Cached access structures
+// ---------------------------------------------------------------------------
+
+/// Accession → row-index maps for every primary relation, nested
+/// `source → table → accession → row`.
+type RowIndex = HashMap<String, HashMap<String, HashMap<String, usize>>>;
+
+/// Everything the facade caches between queries, stamped with the metadata
+/// generation it was built from.
+struct AccessCaches {
+    generation: u64,
+    search: SearchIndex,
+    adjacency: LinkAdjacency,
+    rows: RowIndex,
+}
+
+impl AccessCaches {
+    fn build(aladin: &Aladin) -> AladinResult<AccessCaches> {
+        let generation = aladin.metadata().generation();
+        let search = SearchIndex::build(aladin)?;
+        let adjacency = aladin.metadata().build_adjacency();
+        let mut rows: RowIndex = HashMap::new();
+        for source in aladin.source_names() {
+            let structure = match aladin.metadata().structure(source) {
+                Some(s) => s,
+                None => continue,
+            };
+            let db = aladin.database(source)?;
+            let per_source = rows.entry(source.to_string()).or_default();
+            for primary in &structure.primary_relations {
+                let table = db.table(&primary.table)?;
+                let acc_idx = table.column_index(&primary.accession_column)?;
+                let mut index = HashMap::with_capacity(table.row_count());
+                for (i, row) in table.rows().iter().enumerate() {
+                    let v = &row[acc_idx];
+                    if !v.is_null() {
+                        index.entry(v.render()).or_insert(i);
+                    }
+                }
+                per_source.insert(primary.table.clone(), index);
+            }
+        }
+        Ok(AccessCaches {
+            generation,
+            search,
+            adjacency,
+            rows,
+        })
+    }
+
+    /// Row index of one primary relation, if the table is primary.
+    fn row_of(&self, object: &ObjectRef) -> Option<usize> {
+        self.rows
+            .get(&object.source)?
+            .get(&object.table)?
+            .get(&object.accession)
+            .copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The facade
+// ---------------------------------------------------------------------------
+
+/// The unified access facade over an integrated ALADIN warehouse: owns the
+/// integration pipeline plus the cached access structures, and exposes
+/// browsing, search and structured queries through one composable API. See
+/// the [module docs](self) for an overview.
+pub struct Warehouse {
+    aladin: Aladin,
+    caches: RwLock<Option<Arc<AccessCaches>>>,
+}
+
+impl std::fmt::Debug for Warehouse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warehouse")
+            .field("sources", &self.aladin.source_names())
+            .field("generation", &self.aladin.metadata().generation())
+            .finish()
+    }
+}
+
+impl Warehouse {
+    /// An empty warehouse with the given configuration.
+    pub fn new(config: AladinConfig) -> Warehouse {
+        Warehouse::from_aladin(Aladin::new(config))
+    }
+
+    /// An empty warehouse with the default configuration.
+    pub fn with_defaults() -> Warehouse {
+        Warehouse::from_aladin(Aladin::with_defaults())
+    }
+
+    /// Wrap an already-populated integration pipeline.
+    pub fn from_aladin(aladin: Aladin) -> Warehouse {
+        Warehouse {
+            aladin,
+            caches: RwLock::new(None),
+        }
+    }
+
+    /// The underlying integration pipeline (read access).
+    pub fn aladin(&self) -> &Aladin {
+        &self.aladin
+    }
+
+    /// Unwrap back into the integration pipeline.
+    pub fn into_aladin(self) -> Aladin {
+        self.aladin
+    }
+
+    /// The metadata repository.
+    pub fn metadata(&self) -> &MetadataRepository {
+        self.aladin.metadata()
+    }
+
+    /// Names of the integrated sources.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.aladin.source_names()
+    }
+
+    /// Number of integrated sources.
+    pub fn source_count(&self) -> usize {
+        self.aladin.source_count()
+    }
+
+    /// The imported database of one source.
+    pub fn database(&self, source: &str) -> AladinResult<&Database> {
+        self.aladin.database(source)
+    }
+
+    // -- mutation (cache invalidation is automatic via the generation) ------
+
+    /// Integrate an already-imported relational database (steps 2–5 of the
+    /// paper's process). Cached access structures are invalidated
+    /// automatically.
+    pub fn add_database(&mut self, db: Database) -> AladinResult<IntegrationReport> {
+        self.aladin.add_database(db)
+    }
+
+    /// Import and integrate a source given as raw files.
+    pub fn add_source_files(
+        &mut self,
+        source_name: &str,
+        format: SourceFormat,
+        files: &[(String, String)],
+    ) -> AladinResult<IntegrationReport> {
+        self.aladin.add_source_files(source_name, format, files)
+    }
+
+    /// Handle a changed source (deferred below the configured change
+    /// threshold, re-integrated above it). Cached access structures are
+    /// invalidated automatically when re-integration happens.
+    pub fn refresh_source(
+        &mut self,
+        db: Database,
+        changed_fraction: f64,
+    ) -> AladinResult<Option<IntegrationReport>> {
+        self.aladin.refresh_source(db, changed_fraction)
+    }
+
+    /// Replace the link-discovery plan for subsequent integrations.
+    pub fn set_link_plan(&mut self, plan: LinkDiscoveryPlan) {
+        self.aladin.set_link_plan(plan)
+    }
+
+    // -- caches -------------------------------------------------------------
+
+    /// Current caches, rebuilt if the metadata generation moved since they
+    /// were last built.
+    fn caches(&self) -> AladinResult<Arc<AccessCaches>> {
+        let generation = self.aladin.metadata().generation();
+        if let Some(caches) = self.caches.read().expect("cache lock").as_ref() {
+            if caches.generation == generation {
+                return Ok(Arc::clone(caches));
+            }
+        }
+        let built = Arc::new(AccessCaches::build(&self.aladin)?);
+        *self.caches.write().expect("cache lock") = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Eagerly build the cached access structures (useful before serving
+    /// traffic; every access path otherwise builds them on first use).
+    pub fn warm(&self) -> AladinResult<()> {
+        self.caches().map(|_| ())
+    }
+
+    /// Generation of the currently cached access structures, if any have been
+    /// built. Mostly useful for tests and monitoring.
+    pub fn cached_generation(&self) -> Option<u64> {
+        self.caches
+            .read()
+            .expect("cache lock")
+            .as_ref()
+            .map(|c| c.generation)
+    }
+
+    // -- browse mode --------------------------------------------------------
+
+    /// Resolve an accession within a source to an object reference.
+    pub fn find_object(&self, source: &str, accession: &str) -> AladinResult<ObjectRef> {
+        let caches = self.caches()?;
+        if let Some(structure) = self.aladin.metadata().structure(source) {
+            if !structure.primary_relations.is_empty() {
+                // Probe in primary-relation order (not map order) so the
+                // resolved table is deterministic for multi-primary sources.
+                let tables = caches.rows.get(source);
+                for primary in &structure.primary_relations {
+                    if tables
+                        .and_then(|t| t.get(&primary.table))
+                        .is_some_and(|index| index.contains_key(accession))
+                    {
+                        return Ok(ObjectRef::new(source, primary.table.clone(), accession));
+                    }
+                }
+                return Err(AladinError::UnknownObject(format!("{source}:{accession}")));
+            }
+        }
+        // Source exists but has no primary relations, or is unknown: fall
+        // back to the scanning resolver for its error reporting.
+        resolve_object(&self.aladin, source, accession)
+    }
+
+    /// The full browsable view of one object: attributes, annotation, and the
+    /// four neighbour kinds.
+    pub fn view(&self, object: &ObjectRef) -> AladinResult<ObjectView> {
+        let caches = self.caches()?;
+        object_view(&self.aladin, caches.adjacency.neighbours(object), object, 5)
+    }
+
+    /// Objects reachable from a start object by following links up to
+    /// `depth` hops (breadth-first, excluding the start).
+    pub fn reachable(&self, start: &ObjectRef, depth: usize) -> AladinResult<Vec<ObjectRef>> {
+        let caches = self.caches()?;
+        Ok(reachable_from(&caches.adjacency, start, depth))
+    }
+
+    // -- search mode --------------------------------------------------------
+
+    /// Ranked full-text search over all sources.
+    pub fn search_hits(&self, query: &str, top_k: usize) -> AladinResult<Vec<ObjectHit>> {
+        Ok(self.caches()?.search.search(query, top_k))
+    }
+
+    /// Ranked search restricted to one source (horizontal partition).
+    pub fn search_hits_in_source(
+        &self,
+        query: &str,
+        source: &str,
+        top_k: usize,
+    ) -> AladinResult<Vec<ObjectHit>> {
+        Ok(self.caches()?.search.search_source(query, source, top_k))
+    }
+
+    /// Ranked search restricted to one `table.column` field (vertical
+    /// partition).
+    pub fn search_hits_in_field(
+        &self,
+        query: &str,
+        field: &str,
+        top_k: usize,
+    ) -> AladinResult<Vec<ObjectHit>> {
+        Ok(self.caches()?.search.search_field(query, field, top_k))
+    }
+
+    // -- query mode ---------------------------------------------------------
+
+    /// Run a SQL query against the imported schema of one source.
+    pub fn sql(&self, source: &str, query: &str) -> AladinResult<Table> {
+        run_sql(&self.aladin, source, query)
+    }
+
+    /// Logical plan joining a source's primary relation to a secondary table
+    /// along the discovered path.
+    pub fn join_path_plan(&self, source: &str, secondary_table: &str) -> AladinResult<LogicalPlan> {
+        build_join_path_plan(&self.aladin, source, secondary_table)
+    }
+
+    /// Execute the path-guided join for a source and secondary table.
+    pub fn join_path(&self, source: &str, secondary_table: &str) -> AladinResult<Table> {
+        let db = self.aladin.database(source)?;
+        let plan = self.join_path_plan(source, secondary_table)?;
+        Ok(aladin_relstore::exec::execute(db, &plan)?)
+    }
+
+    /// Cross-source object query over the cached adjacency: pairs of linked
+    /// objects between two sources, ranked by the number of independent link
+    /// paths.
+    pub fn cross_source_objects(
+        &self,
+        start_source: &str,
+        target_source: &str,
+    ) -> AladinResult<Vec<(ObjectRef, ObjectRef, usize)>> {
+        let caches = self.caches()?;
+        cross_source_over(&self.aladin, &caches.adjacency, start_source, target_source)
+    }
+
+    // -- composable queries -------------------------------------------------
+
+    /// Start a query from a full scan of every primary object (browse mode).
+    pub fn scan(&self) -> ObjectQuery<'_> {
+        ObjectQuery::new(self, QueryRoot::Scan)
+    }
+
+    /// Start a query from a ranked keyword search (search mode). The best
+    /// [`ObjectQuery::search_limit`] hits seed the pipeline, in rank order.
+    pub fn search(&self, text: impl Into<String>) -> ObjectQuery<'_> {
+        ObjectQuery::new(
+            self,
+            QueryRoot::Search {
+                text: text.into(),
+                top_k: DEFAULT_SEARCH_LIMIT,
+            },
+        )
+    }
+
+    /// Start a query from a single accession lookup (query mode entry).
+    pub fn accession(
+        &self,
+        source: impl Into<String>,
+        accession: impl Into<String>,
+    ) -> ObjectQuery<'_> {
+        ObjectQuery::new(
+            self,
+            QueryRoot::Accession {
+                source: source.into(),
+                accession: accession.into(),
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result model
+// ---------------------------------------------------------------------------
+
+/// How a record entered the result set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecordOrigin {
+    /// Part of the scanned object population.
+    Scan,
+    /// Matched the keyword search with this ranking score.
+    Search {
+        /// Aggregated ranking score of the hit.
+        score: f64,
+    },
+    /// Resolved directly from an accession lookup.
+    Lookup,
+    /// Reached by following a link.
+    Linked {
+        /// The object the link was followed from.
+        via: ObjectRef,
+        /// The kind of the link followed.
+        kind: LinkKind,
+        /// Number of hops from the query's seed set.
+        depth: usize,
+    },
+}
+
+/// One materialized result of an [`ObjectQuery`]: the shared result model of
+/// all three access modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// The object.
+    pub object: ObjectRef,
+    /// How the object entered the result set.
+    pub origin: RecordOrigin,
+    /// `(column, value)` pairs of the object's primary-relation row (NULLs
+    /// omitted).
+    pub attributes: Vec<(String, String)>,
+    /// Secondary-annotation rows, present for the tables requested with
+    /// [`ObjectQuery::join_annotation`].
+    pub annotation: Vec<browse::AnnotationRow>,
+}
+
+impl ObjectRecord {
+    /// The value of one attribute, if present (case-insensitive name match).
+    pub fn attr(&self, column: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(column))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+/// A predicate over one attribute of a primary-relation row. Filters evaluate
+/// in-memory during query execution and compile to relstore expressions in
+/// [`ObjectQuery::plan`]; both paths share the relational dialect's
+/// semantics: `LIKE`/`contains` are case-insensitive, `equals` compares the
+/// rendered value exactly (compiled through [`Value::infer`] so numeric
+/// literals hit numeric columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrFilter {
+    column: String,
+    op: FilterOp,
+    value: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FilterOp {
+    Equals,
+    Contains,
+    Like,
+}
+
+impl AttrFilter {
+    /// `column = value`.
+    pub fn equals(column: impl Into<String>, value: impl Into<String>) -> AttrFilter {
+        AttrFilter {
+            column: column.into(),
+            op: FilterOp::Equals,
+            value: value.into(),
+        }
+    }
+
+    /// `column LIKE '%value%'` (case-insensitive substring; `value` is taken
+    /// literally, so it must not itself contain the `%`/`_` wildcards).
+    pub fn contains(column: impl Into<String>, value: impl Into<String>) -> AttrFilter {
+        AttrFilter {
+            column: column.into(),
+            op: FilterOp::Contains,
+            value: value.into(),
+        }
+    }
+
+    /// `column LIKE pattern` (`%` and `_` wildcards, case-insensitive — the
+    /// dialect's `LIKE`).
+    pub fn like(column: impl Into<String>, pattern: impl Into<String>) -> AttrFilter {
+        AttrFilter {
+            column: column.into(),
+            op: FilterOp::Like,
+            value: pattern.into(),
+        }
+    }
+
+    /// Evaluate against materialized attributes. A missing attribute (NULL or
+    /// unknown column) never matches, mirroring SQL comparison semantics.
+    /// Matching mirrors what [`AttrFilter::to_expr`] compiles to, so
+    /// `fetch()` and an executed `plan()` agree: `LIKE` (and `contains`)
+    /// lowercase both sides exactly like the relstore executor does.
+    fn matches(&self, attributes: &[(String, String)]) -> bool {
+        let value = attributes
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(&self.column))
+            .map(|(_, v)| v.as_str());
+        match (value, &self.op) {
+            (None, _) => false,
+            (Some(v), FilterOp::Equals) => v == self.value,
+            (Some(v), FilterOp::Contains) => v
+                .to_ascii_lowercase()
+                .contains(&self.value.to_ascii_lowercase()),
+            (Some(v), FilterOp::Like) => {
+                like_match(&v.to_ascii_lowercase(), &self.value.to_ascii_lowercase())
+            }
+        }
+    }
+
+    /// Compile to a relstore expression with the same semantics as
+    /// [`AttrFilter::matches`]. Errors when the filter cannot be expressed
+    /// faithfully (a `contains` value containing `LIKE` wildcards).
+    fn to_expr(&self) -> AladinResult<Expr> {
+        let col = Expr::col(self.column.clone());
+        Ok(match self.op {
+            // `infer` round-trips rendering (property-tested), so comparing
+            // against the inferred literal matches the rendered-string
+            // equality of the in-memory path on typed columns too.
+            FilterOp::Equals => col.eq(Expr::lit(Value::infer(&self.value))),
+            FilterOp::Contains => {
+                if self.value.contains('%') || self.value.contains('_') {
+                    return Err(AladinError::Discovery(format!(
+                        "contains filter value '{}' holds LIKE wildcards and cannot compile faithfully; use AttrFilter::like",
+                        self.value
+                    )));
+                }
+                col.like(format!("%{}%", self.value))
+            }
+            FilterOp::Like => col.like(self.value.clone()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The query builder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum QueryRoot {
+    Scan,
+    Search { text: String, top_k: usize },
+    Accession { source: String, accession: String },
+}
+
+#[derive(Debug, Clone)]
+enum QueryOp {
+    FromSource(String),
+    Filter(AttrFilter),
+    FollowLinks {
+        kind: Option<LinkKind>,
+        depth: usize,
+    },
+}
+
+/// A composable query over the warehouse's object population. Stages apply
+/// in the order they are chained, so `search(..).follow_links(..)
+/// .from_source(..)` reads exactly as it executes. Obtained from
+/// [`Warehouse::scan`], [`Warehouse::search`] or [`Warehouse::accession`].
+#[derive(Debug, Clone)]
+pub struct ObjectQuery<'w> {
+    warehouse: &'w Warehouse,
+    root: QueryRoot,
+    ops: Vec<QueryOp>,
+    annotations: Vec<String>,
+    limit: Option<usize>,
+    offset: usize,
+}
+
+impl<'w> ObjectQuery<'w> {
+    fn new(warehouse: &'w Warehouse, root: QueryRoot) -> ObjectQuery<'w> {
+        ObjectQuery {
+            warehouse,
+            root,
+            ops: Vec::new(),
+            annotations: Vec::new(),
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    /// Keep only objects of one source (applies at this point of the chain:
+    /// before a `follow_links` it restricts the seeds, after it the reached
+    /// objects).
+    pub fn from_source(mut self, source: impl Into<String>) -> Self {
+        self.ops.push(QueryOp::FromSource(source.into()));
+        self
+    }
+
+    /// Keep only objects whose primary-relation row matches the filter.
+    pub fn filter(mut self, filter: AttrFilter) -> Self {
+        self.ops.push(QueryOp::Filter(filter));
+        self
+    }
+
+    /// Replace the current object set with the objects reachable over
+    /// discovered links within `depth` hops (breadth-first, seeds excluded).
+    /// `kind` restricts which links are followed; `None` follows every
+    /// non-duplicate kind (pass `Some(LinkKind::Duplicate)` explicitly to
+    /// traverse duplicate links).
+    pub fn follow_links(mut self, kind: Option<LinkKind>, depth: usize) -> Self {
+        self.ops.push(QueryOp::FollowLinks { kind, depth });
+        self
+    }
+
+    /// Attach the annotation rows of one secondary table to every fetched
+    /// record (repeatable).
+    pub fn join_annotation(mut self, table: impl Into<String>) -> Self {
+        self.annotations.push(table.into());
+        self
+    }
+
+    /// Keep at most `n` results (applied after all pipeline stages).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Skip the first `n` results (applied before the limit).
+    pub fn offset(mut self, n: usize) -> Self {
+        self.offset = n;
+        self
+    }
+
+    /// For search-rooted queries: how many ranked hits seed the pipeline
+    /// (default 50).
+    pub fn search_limit(mut self, top_k: usize) -> Self {
+        if let QueryRoot::Search { top_k: k, .. } = &mut self.root {
+            *k = top_k;
+        }
+        self
+    }
+
+    // -- execution ----------------------------------------------------------
+
+    /// Resolve the pipeline to the ordered hit list (before offset/limit).
+    fn resolve(&self, caches: &AccessCaches) -> AladinResult<Vec<(ObjectRef, RecordOrigin)>> {
+        let aladin = &self.warehouse.aladin;
+        let mut hits: Vec<(ObjectRef, RecordOrigin)> = match &self.root {
+            QueryRoot::Scan => {
+                let mut out = Vec::new();
+                for source in aladin.source_names() {
+                    for object in aladin.objects_of(source)? {
+                        out.push((object, RecordOrigin::Scan));
+                    }
+                }
+                out
+            }
+            QueryRoot::Search { text, top_k } => caches
+                .search
+                .search(text, *top_k)
+                .into_iter()
+                .map(|h| (h.object, RecordOrigin::Search { score: h.score }))
+                .collect(),
+            QueryRoot::Accession { source, accession } => {
+                vec![(
+                    self.warehouse.find_object(source, accession)?,
+                    RecordOrigin::Lookup,
+                )]
+            }
+        };
+
+        for op in &self.ops {
+            match op {
+                QueryOp::FromSource(source) => {
+                    // Surface typos instead of silently returning nothing.
+                    let _ = aladin.database(source)?;
+                    hits.retain(|(o, _)| &o.source == source);
+                }
+                QueryOp::Filter(filter) => {
+                    let mut kept = Vec::with_capacity(hits.len());
+                    for (object, origin) in hits {
+                        let attributes = attributes_for(aladin, caches, &object)?;
+                        if filter.matches(&attributes) {
+                            kept.push((object, origin));
+                        }
+                    }
+                    hits = kept;
+                }
+                QueryOp::FollowLinks { kind, depth } => {
+                    hits = follow_stage(&caches.adjacency, &hits, *kind, *depth);
+                }
+            }
+        }
+        Ok(hits)
+    }
+
+    fn page(&self, hits: &[(ObjectRef, RecordOrigin)]) -> std::ops::Range<usize> {
+        let start = self.offset.min(hits.len());
+        let end = match self.limit {
+            Some(n) => (start + n).min(hits.len()),
+            None => hits.len(),
+        };
+        start..end
+    }
+
+    /// Execute and materialize every result.
+    pub fn fetch(&self) -> AladinResult<Vec<ObjectRecord>> {
+        let caches = self.warehouse.caches()?;
+        let hits = self.resolve(&caches)?;
+        let range = self.page(&hits);
+        materialize(
+            &self.warehouse.aladin,
+            &caches,
+            &hits[range],
+            &self.annotations,
+        )
+    }
+
+    /// Execute and count the results (no materialization; offset/limit still
+    /// apply).
+    pub fn count(&self) -> AladinResult<usize> {
+        let caches = self.warehouse.caches()?;
+        let hits = self.resolve(&caches)?;
+        Ok(self.page(&hits).len())
+    }
+
+    /// Execute and return a paginated cursor: the matching objects are pinned
+    /// once, then materialized page by page as the cursor is consumed — the
+    /// serving shape for heavy traffic, where a client walks pages without
+    /// the warehouse re-running the query.
+    pub fn cursor(&self, page_size: usize) -> AladinResult<ObjectCursor<'w>> {
+        let caches = self.warehouse.caches()?;
+        let hits = self.resolve(&caches)?;
+        let range = self.page(&hits);
+        Ok(ObjectCursor {
+            warehouse: self.warehouse,
+            hits: hits[range].to_vec(),
+            annotations: self.annotations.clone(),
+            page_size: page_size.max(1),
+            position: 0,
+        })
+    }
+
+    /// Compile the query to a relstore [`LogicalPlan`] for inspection or
+    /// repeated execution. Only the relational subset compiles: a scan or
+    /// accession root confined to one source, attribute filters, at most one
+    /// annotation join, offset and limit. Search roots and link traversals
+    /// are not relational operators and are reported as
+    /// [`AladinError::Discovery`] errors.
+    pub fn plan(&self) -> AladinResult<LogicalPlan> {
+        let aladin = &self.warehouse.aladin;
+
+        // Determine the single source the plan runs against.
+        let (source, accession) = match &self.root {
+            QueryRoot::Accession { source, accession } => (source.clone(), Some(accession.clone())),
+            QueryRoot::Scan => {
+                let from = self.ops.iter().find_map(|op| match op {
+                    QueryOp::FromSource(s) => Some(s.clone()),
+                    _ => None,
+                });
+                match from {
+                    Some(s) => (s, None),
+                    None => {
+                        return Err(AladinError::Discovery(
+                            "plan() requires a single source: add .from_source(..) or start from an accession".into(),
+                        ))
+                    }
+                }
+            }
+            QueryRoot::Search { .. } => return Err(AladinError::Discovery(
+                "plan() cannot compile a search root: ranked search is not a relational operator"
+                    .into(),
+            )),
+        };
+        if self
+            .ops
+            .iter()
+            .any(|op| matches!(op, QueryOp::FollowLinks { .. }))
+        {
+            return Err(AladinError::Discovery(
+                "plan() cannot compile follow_links: link traversal is not a relational operator"
+                    .into(),
+            ));
+        }
+        if self.annotations.len() > 1 {
+            return Err(AladinError::Discovery(
+                "plan() supports at most one join_annotation table".into(),
+            ));
+        }
+
+        let structure = aladin
+            .metadata()
+            .structure(&source)
+            .ok_or_else(|| AladinError::UnknownSource(source.clone()))?;
+        let primary = match structure.primary_relations.as_slice() {
+            [one] => one,
+            [] => {
+                return Err(AladinError::Discovery(format!(
+                    "source '{source}' has no primary relation to plan over"
+                )))
+            }
+            _ => {
+                return Err(AladinError::Discovery(format!(
+                    "source '{source}' has several primary relations; plan() needs exactly one"
+                )))
+            }
+        };
+
+        let mut plan = match self.annotations.first() {
+            Some(table) => build_join_path_plan(aladin, &source, table)?,
+            None => LogicalPlan::scan(primary.table.clone()),
+        };
+        let mut predicate: Option<Expr> = accession
+            .map(|acc| Expr::col(primary.accession_column.clone()).eq(Expr::lit(Value::text(acc))));
+        for op in &self.ops {
+            if let QueryOp::Filter(filter) = op {
+                let e = filter.to_expr()?;
+                predicate = Some(match predicate {
+                    Some(p) => p.and(e),
+                    None => e,
+                });
+            }
+        }
+        if let Some(predicate) = predicate {
+            plan = plan.filter(predicate);
+        }
+        // Deterministic order so offset/limit paginate stably when the plan
+        // is re-executed.
+        plan = plan.sort(vec![SortKey {
+            column: primary.accession_column.clone(),
+            ascending: true,
+        }]);
+        if self.offset > 0 {
+            plan = plan.offset(self.offset);
+        }
+        if let Some(limit) = self.limit {
+            plan = plan.limit(limit);
+        }
+        Ok(plan)
+    }
+}
+
+/// One `follow_links` stage: breadth-first over the adjacency from every
+/// current hit, deduplicated across the stage, seeds excluded, discovery
+/// order preserved (seed order, then hop distance, then link score).
+fn follow_stage(
+    adjacency: &LinkAdjacency,
+    hits: &[(ObjectRef, RecordOrigin)],
+    kind: Option<LinkKind>,
+    depth: usize,
+) -> Vec<(ObjectRef, RecordOrigin)> {
+    let mut seen: HashSet<ObjectRef> = hits.iter().map(|(o, _)| o.clone()).collect();
+    let mut queue: VecDeque<(ObjectRef, usize)> =
+        hits.iter().map(|(o, _)| (o.clone(), 0)).collect();
+    let mut out = Vec::new();
+    while let Some((current, d)) = queue.pop_front() {
+        if d >= depth {
+            continue;
+        }
+        for n in adjacency.neighbours(&current) {
+            let followed = match kind {
+                Some(k) => n.kind == k,
+                None => n.kind != LinkKind::Duplicate,
+            };
+            if !followed {
+                continue;
+            }
+            if seen.insert(n.object.clone()) {
+                out.push((
+                    n.object.clone(),
+                    RecordOrigin::Linked {
+                        via: current.clone(),
+                        kind: n.kind,
+                        depth: d + 1,
+                    },
+                ));
+                queue.push_back((n.object.clone(), d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Attributes of an object's primary row, via the cached row index when the
+/// object is in a primary relation, falling back to a scan otherwise.
+fn attributes_for(
+    aladin: &Aladin,
+    caches: &AccessCaches,
+    object: &ObjectRef,
+) -> AladinResult<Vec<(String, String)>> {
+    if let Some(row_idx) = caches.row_of(object) {
+        let db = aladin.database(&object.source)?;
+        let table = db.table(&object.table)?;
+        let row = &table.rows()[row_idx];
+        return Ok(table
+            .schema()
+            .columns()
+            .iter()
+            .zip(row)
+            .filter(|(_, v)| !v.is_null())
+            .map(|(c, v)| (c.name.clone(), v.render()))
+            .collect());
+    }
+    object_attributes(aladin, object)
+}
+
+/// Materialize records for a slice of resolved hits. Annotation joins are
+/// batched: the owner map of each requested `(source, table)` pair is
+/// derived once per call, not once per record.
+fn materialize(
+    aladin: &Aladin,
+    caches: &AccessCaches,
+    hits: &[(ObjectRef, RecordOrigin)],
+    annotations: &[String],
+) -> AladinResult<Vec<ObjectRecord>> {
+    type OwnerMap = HashMap<String, Vec<browse::AnnotationRow>>;
+    let mut owner_maps: HashMap<(String, String), OwnerMap> = HashMap::new();
+    let mut out = Vec::with_capacity(hits.len());
+    for (object, origin) in hits {
+        let attributes = attributes_for(aladin, caches, object)?;
+        let mut annotation = Vec::new();
+        for table in annotations {
+            let key = (object.source.clone(), table.clone());
+            if !owner_maps.contains_key(&key) {
+                let map = browse::annotation_by_owner(aladin, &object.source, table)?;
+                owner_maps.insert(key.clone(), map);
+            }
+            if let Some(rows) = owner_maps[&key].get(&object.accession) {
+                annotation.extend(rows.iter().cloned());
+            }
+        }
+        out.push(ObjectRecord {
+            object: object.clone(),
+            origin: origin.clone(),
+            attributes,
+            annotation,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+/// A paginated cursor over the results of an [`ObjectQuery`]. The matching
+/// objects are pinned when the cursor is created; iteration materializes one
+/// page of [`ObjectRecord`]s at a time, so page boundaries are stable no
+/// matter how the cursor is consumed.
+pub struct ObjectCursor<'w> {
+    warehouse: &'w Warehouse,
+    hits: Vec<(ObjectRef, RecordOrigin)>,
+    annotations: Vec<String>,
+    page_size: usize,
+    position: usize,
+}
+
+impl ObjectCursor<'_> {
+    /// Total number of results across all pages.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the cursor has no results at all.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Total number of pages.
+    pub fn page_count(&self) -> usize {
+        self.hits.len().div_ceil(self.page_size)
+    }
+}
+
+impl Iterator for ObjectCursor<'_> {
+    type Item = AladinResult<Vec<ObjectRecord>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.position >= self.hits.len() {
+            return None;
+        }
+        let end = (self.position + self.page_size).min(self.hits.len());
+        let slice = &self.hits[self.position..end];
+        self.position = end;
+        let caches = match self.warehouse.caches() {
+            Ok(c) => c,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(materialize(
+            &self.warehouse.aladin,
+            &caches,
+            slice,
+            &self.annotations,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladin_relstore::{ColumnDef, TableSchema};
+
+    fn warehouse() -> Warehouse {
+        let config = AladinConfig {
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            ..Default::default()
+        };
+        let mut warehouse = Warehouse::new(config);
+
+        let mut protkb = Database::new("protkb");
+        protkb
+            .create_table(
+                "protkb_entry",
+                TableSchema::of(vec![
+                    ColumnDef::int("entry_id"),
+                    ColumnDef::text("ac"),
+                    ColumnDef::text("de"),
+                ]),
+            )
+            .unwrap();
+        protkb
+            .create_table(
+                "protkb_dr",
+                TableSchema::of(vec![
+                    ColumnDef::int("dr_id"),
+                    ColumnDef::int("entry_id"),
+                    ColumnDef::text("value"),
+                ]),
+            )
+            .unwrap();
+        for (i, desc) in [
+            "serine kinase enzyme",
+            "sugar transporter protein",
+            "ribosome assembly factor",
+        ]
+        .iter()
+        .enumerate()
+        {
+            protkb
+                .insert(
+                    "protkb_entry",
+                    vec![
+                        Value::Int(i as i64 + 1),
+                        Value::text(format!("P1000{}", i + 1)),
+                        Value::text(*desc),
+                    ],
+                )
+                .unwrap();
+        }
+        for (id, entry, v) in [(1, 1, "STRUCTDB; 1ABC"), (2, 2, "STRUCTDB; 2DEF")] {
+            protkb
+                .insert(
+                    "protkb_dr",
+                    vec![Value::Int(id), Value::Int(entry), Value::text(v)],
+                )
+                .unwrap();
+        }
+        warehouse.add_database(protkb).unwrap();
+
+        let mut structdb = Database::new("structdb");
+        structdb
+            .create_table(
+                "structures",
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                ]),
+            )
+            .unwrap();
+        for (acc, title) in [
+            ("1ABC", "kinase structure"),
+            ("2DEF", "transporter structure"),
+            ("3GHI", "unrelated structure"),
+        ] {
+            structdb
+                .insert("structures", vec![Value::text(acc), Value::text(title)])
+                .unwrap();
+        }
+        warehouse.add_database(structdb).unwrap();
+        warehouse
+    }
+
+    #[test]
+    fn all_three_modes_are_reachable() {
+        let w = warehouse();
+        // Browse.
+        let obj = w.find_object("protkb", "P10001").unwrap();
+        let view = w.view(&obj).unwrap();
+        assert!(view.attributes.iter().any(|(c, _)| c == "de"));
+        assert!(!w.reachable(&obj, 1).unwrap().is_empty());
+        // Search.
+        let hits = w.search_hits("kinase", 10).unwrap();
+        assert!(hits.iter().any(|h| h.object.accession == "P10001"));
+        // Query.
+        let table = w
+            .sql(
+                "protkb",
+                "SELECT ac FROM protkb_entry ORDER BY ac LIMIT 1 OFFSET 1",
+            )
+            .unwrap();
+        assert_eq!(table.cell(0, "ac").unwrap().render(), "P10002");
+        let pairs = w.cross_source_objects("protkb", "structdb").unwrap();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn scan_root_lists_every_primary_object() {
+        let w = warehouse();
+        let all = w.scan().fetch().unwrap();
+        assert_eq!(all.len(), 6); // 3 proteins + 3 structures
+        assert!(all.iter().all(|r| r.origin == RecordOrigin::Scan));
+        assert!(all.iter().all(|r| !r.attributes.is_empty()));
+        assert_eq!(w.scan().from_source("structdb").count().unwrap(), 3);
+    }
+
+    #[test]
+    fn filters_compose_with_scan() {
+        let w = warehouse();
+        let kinases = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("de", "kinase"))
+            .fetch()
+            .unwrap();
+        assert_eq!(kinases.len(), 1);
+        assert_eq!(kinases[0].object.accession, "P10001");
+
+        let like = w
+            .scan()
+            .filter(AttrFilter::like("ac", "P1%"))
+            .count()
+            .unwrap();
+        assert_eq!(like, 3);
+        assert_eq!(
+            w.scan()
+                .filter(AttrFilter::equals("structure_id", "3GHI"))
+                .count()
+                .unwrap(),
+            1
+        );
+        // Unknown sources are reported, not silently empty.
+        assert!(w.scan().from_source("nope").fetch().is_err());
+    }
+
+    #[test]
+    fn search_root_composes_with_follow_links() {
+        let w = warehouse();
+        let records = w
+            .search("kinase")
+            .from_source("protkb")
+            .follow_links(Some(LinkKind::ExplicitCrossRef), 1)
+            .fetch()
+            .unwrap();
+        assert!(!records.is_empty());
+        assert_eq!(records[0].object.accession, "1ABC");
+        match &records[0].origin {
+            RecordOrigin::Linked { via, kind, depth } => {
+                assert_eq!(via.accession, "P10001");
+                assert_eq!(*kind, LinkKind::ExplicitCrossRef);
+                assert_eq!(*depth, 1);
+            }
+            other => panic!("unexpected origin {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accession_root_joins_annotation() {
+        let w = warehouse();
+        let records = w
+            .accession("protkb", "P10001")
+            .join_annotation("protkb_dr")
+            .fetch()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].origin, RecordOrigin::Lookup);
+        assert_eq!(records[0].annotation.len(), 1);
+        assert_eq!(records[0].annotation[0].table, "protkb_dr");
+        assert_eq!(records[0].attr("de"), Some("serine kinase enzyme"));
+        assert!(w.accession("protkb", "NOPE").fetch().is_err());
+    }
+
+    #[test]
+    fn offset_limit_and_cursor_pages_agree_with_fetch() {
+        let w = warehouse();
+        let all = w.scan().fetch().unwrap();
+        let second_page = w.scan().offset(2).limit(2).fetch().unwrap();
+        assert_eq!(second_page.as_slice(), &all[2..4]);
+
+        let mut cursor = w.scan().cursor(4).unwrap();
+        assert_eq!(cursor.len(), 6);
+        assert_eq!(cursor.page_count(), 2);
+        assert!(!cursor.is_empty());
+        let first = cursor.next().unwrap().unwrap();
+        let second = cursor.next().unwrap().unwrap();
+        assert!(cursor.next().is_none());
+        assert_eq!(first.len(), 4);
+        assert_eq!(second.len(), 2);
+        let paged: Vec<ObjectRecord> = first.into_iter().chain(second).collect();
+        assert_eq!(paged, all);
+    }
+
+    #[test]
+    fn fetch_and_compiled_plan_agree_on_filter_semantics() {
+        let w = warehouse();
+        let db = w.database("protkb").unwrap();
+
+        // LIKE and contains are case-insensitive on both paths.
+        for filter in [
+            AttrFilter::like("de", "%KINASE%"),
+            AttrFilter::contains("de", "KiNaSe"),
+        ] {
+            let query = w.scan().from_source("protkb").filter(filter);
+            let fetched = query.fetch().unwrap();
+            assert_eq!(fetched.len(), 1, "in-memory path");
+            let compiled = aladin_relstore::exec::execute(db, &query.plan().unwrap()).unwrap();
+            assert_eq!(compiled.row_count(), 1, "compiled path");
+        }
+
+        // equals against an integer column: the literal is inferred, so the
+        // compiled comparison hits the Int value just like the rendered
+        // comparison does in memory.
+        let query = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("entry_id", "1"));
+        assert_eq!(query.fetch().unwrap().len(), 1);
+        let compiled = aladin_relstore::exec::execute(db, &query.plan().unwrap()).unwrap();
+        assert_eq!(compiled.row_count(), 1);
+
+        // A contains value holding LIKE wildcards cannot compile faithfully.
+        let err = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("de", "100%"))
+            .plan()
+            .unwrap_err();
+        assert!(err.to_string().contains("wildcards"), "{err}");
+    }
+
+    #[test]
+    fn find_object_prefers_primary_relation_order() {
+        let w = warehouse();
+        // Every lookup resolves to the declared primary table, repeatably.
+        for _ in 0..10 {
+            let o = w.find_object("protkb", "P10001").unwrap();
+            assert_eq!(o.table, "protkb_entry");
+        }
+    }
+
+    #[test]
+    fn plan_compiles_the_relational_subset() {
+        let w = warehouse();
+        let plan = w
+            .scan()
+            .from_source("structdb")
+            .filter(AttrFilter::like("title", "%structure%"))
+            .offset(1)
+            .limit(1)
+            .plan()
+            .unwrap();
+        // The compiled plan executes against the source and paginates.
+        let table = aladin_relstore::exec::execute(w.database("structdb").unwrap(), &plan).unwrap();
+        assert_eq!(table.row_count(), 1);
+        assert_eq!(table.cell(0, "structure_id").unwrap().render(), "2DEF");
+
+        // Accession roots compile to an accession filter.
+        let plan = w.accession("structdb", "3GHI").plan().unwrap();
+        let table = aladin_relstore::exec::execute(w.database("structdb").unwrap(), &plan).unwrap();
+        assert_eq!(table.row_count(), 1);
+
+        // Non-relational shapes are reported.
+        assert!(w.search("kinase").plan().is_err());
+        assert!(w.scan().plan().is_err()); // no single source
+        assert!(w
+            .scan()
+            .from_source("protkb")
+            .follow_links(None, 1)
+            .plan()
+            .is_err());
+    }
+
+    #[test]
+    fn caches_rebuild_only_when_generation_moves() {
+        let mut w = warehouse();
+        assert_eq!(w.cached_generation(), None);
+        w.warm().unwrap();
+        let g = w.cached_generation().unwrap();
+        // Read paths do not invalidate.
+        let _ = w.search_hits("kinase", 5).unwrap();
+        let _ = w.scan().count().unwrap();
+        assert_eq!(w.cached_generation(), Some(g));
+
+        // Adding a source moves the metadata generation; the next access
+        // rebuilds and the new objects are immediately searchable.
+        let mut extra = Database::new("ontodb");
+        extra
+            .create_table(
+                "terms",
+                TableSchema::of(vec![ColumnDef::text("term_id"), ColumnDef::text("name")]),
+            )
+            .unwrap();
+        extra
+            .insert(
+                "terms",
+                vec![Value::text("GO:1"), Value::text("kinase activity")],
+            )
+            .unwrap();
+        extra
+            .insert("terms", vec![Value::text("GO:2"), Value::text("transport")])
+            .unwrap();
+        w.add_database(extra).unwrap();
+        let hits = w.search_hits("kinase", 10).unwrap();
+        assert!(hits.iter().any(|h| h.object.source == "ontodb"));
+        assert!(w.cached_generation().unwrap() > g);
+    }
+}

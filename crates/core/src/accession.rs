@@ -57,7 +57,8 @@ pub fn detect_accession_candidates(
     let mut best_per_table: BTreeMap<String, AccessionCandidate> = BTreeMap::new();
     for unique in unique_columns {
         let column_stats = stats.iter().find(|s| {
-            s.table.eq_ignore_ascii_case(&unique.table) && s.column.eq_ignore_ascii_case(&unique.column)
+            s.table.eq_ignore_ascii_case(&unique.table)
+                && s.column.eq_ignore_ascii_case(&unique.column)
         });
         let column_stats = match column_stats {
             Some(s) => s,
@@ -179,7 +180,10 @@ mod tests {
         let mut db = Database::new("x");
         db.create_table(
             "t",
-            TableSchema::of(vec![ColumnDef::text("short_acc"), ColumnDef::text("long_acc")]),
+            TableSchema::of(vec![
+                ColumnDef::text("short_acc"),
+                ColumnDef::text("long_acc"),
+            ]),
         )
         .unwrap();
         for i in 0..4 {
@@ -203,8 +207,11 @@ mod tests {
     #[test]
     fn low_coverage_columns_are_rejected() {
         let mut db = Database::new("x");
-        db.create_table("t", TableSchema::of(vec![ColumnDef::int("id"), ColumnDef::text("maybe_acc")]))
-            .unwrap();
+        db.create_table(
+            "t",
+            TableSchema::of(vec![ColumnDef::int("id"), ColumnDef::text("maybe_acc")]),
+        )
+        .unwrap();
         for i in 0..10i64 {
             let acc = if i < 3 {
                 Value::text(format!("ACC{i:03}"))

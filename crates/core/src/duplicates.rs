@@ -190,8 +190,8 @@ pub fn profile_similarity(
         Some(s) => 0.5 * text_sim + 0.5 * s,
         None => text_sim,
     };
-    let shares_identifier = a.identifiers.contains(&b.object.accession)
-        || b.identifiers.contains(&a.object.accession);
+    let shares_identifier =
+        a.identifiers.contains(&b.object.accession) || b.identifiers.contains(&a.object.accession);
     if shares_identifier {
         score = (score + 0.2).min(1.0);
     }
@@ -341,9 +341,24 @@ mod tests {
         // Name lengths vary widely so the name column is (correctly) not an
         // accession candidate and `acc` remains the accession column.
         let rows = [
-            ("P10001", "STK1_HUMAN", "serine threonine kinase 1 involved in cell cycle regulation", seq("MKTAYIAKQRQISFVKSHFSRQ", 3)),
-            ("P10002", "GLUT1_TRANSPORTER_HUMAN", "glucose membrane transporter of the plasma membrane", seq("GGGGWWWWLLLLNNNNPPPPRRRR", 3)),
-            ("P10003", "RB_HUMAN", "ribosomal assembly factor for the small subunit", seq("AAAACCCCDDDDEEEEFFFFHHHH", 3)),
+            (
+                "P10001",
+                "STK1_HUMAN",
+                "serine threonine kinase 1 involved in cell cycle regulation",
+                seq("MKTAYIAKQRQISFVKSHFSRQ", 3),
+            ),
+            (
+                "P10002",
+                "GLUT1_TRANSPORTER_HUMAN",
+                "glucose membrane transporter of the plasma membrane",
+                seq("GGGGWWWWLLLLNNNNPPPPRRRR", 3),
+            ),
+            (
+                "P10003",
+                "RB_HUMAN",
+                "ribosomal assembly factor for the small subunit",
+                seq("AAAACCCCDDDDEEEEFFFFHHHH", 3),
+            ),
         ];
         for (acc, name, desc, sequence) in rows {
             db.insert(
@@ -397,7 +412,11 @@ mod tests {
                     Value::text(name),
                     Value::text(note),
                     Value::text(sequence),
-                    if uref.is_empty() { Value::Null } else { Value::text(uref) },
+                    if uref.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::text(uref)
+                    },
                 ],
             )
             .unwrap();
@@ -421,12 +440,18 @@ mod tests {
         let structure = analyze_database(&db, &cfg).unwrap();
         let profiles = build_profiles(&db, &structure).unwrap();
         assert_eq!(profiles.len(), 3);
-        let p1 = profiles.iter().find(|p| p.object.accession == "P10001").unwrap();
+        let p1 = profiles
+            .iter()
+            .find(|p| p.object.accession == "P10001")
+            .unwrap();
         assert!(p1.text.contains("serine threonine kinase"));
         assert!(p1.sequence.is_some());
         assert!(p1.identifiers.contains("P10001"));
         assert!(p1.identifiers.contains("STK1_HUMAN"));
-        let p2 = profiles.iter().find(|p| p.object.accession == "P10002").unwrap();
+        let p2 = profiles
+            .iter()
+            .find(|p| p.object.accession == "P10002")
+            .unwrap();
         assert!(p2.identifiers.contains("GLUT1_TRANSPORTER_HUMAN"));
     }
 

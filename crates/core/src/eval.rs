@@ -103,6 +103,7 @@ pub struct LinkEvaluation {
 pub struct ExpectedTruth {
     /// Per-source structural truth: (source, primary tables, accession
     /// columns, secondary tables).
+    #[allow(clippy::type_complexity)]
     pub sources: Vec<(String, Vec<String>, Vec<String>, Vec<String>)>,
     /// True object links as (source_a, accession_a, source_b, accession_b,
     /// explicit).
@@ -141,17 +142,18 @@ pub fn evaluate_structure(aladin: &Aladin, truth: &ExpectedTruth) -> Vec<Structu
             .collect();
         let primary = PrecisionRecall::from_sets(&predicted_primary, &expected_primary);
 
-        let accession_correct = primary_tables
-            .iter()
-            .zip(accession_columns)
-            .all(|(table, column)| {
-                structure
-                    .primary_relations
-                    .iter()
-                    .find(|p| p.table.eq_ignore_ascii_case(table))
-                    .map(|p| p.accession_column.eq_ignore_ascii_case(column))
-                    .unwrap_or(false)
-            });
+        let accession_correct =
+            primary_tables
+                .iter()
+                .zip(accession_columns)
+                .all(|(table, column)| {
+                    structure
+                        .primary_relations
+                        .iter()
+                        .find(|p| p.table.eq_ignore_ascii_case(table))
+                        .map(|p| p.accession_column.eq_ignore_ascii_case(column))
+                        .unwrap_or(false)
+                });
 
         let predicted_secondary: HashSet<String> = structure
             .secondary_relations
@@ -335,7 +337,10 @@ mod tests {
         structdb
             .create_table(
                 "structures",
-                TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+                TableSchema::of(vec![
+                    ColumnDef::text("structure_id"),
+                    ColumnDef::text("title"),
+                ]),
             )
             .unwrap();
         for (acc, t) in [("1ABC", "alpha"), ("2DEF", "beta"), ("3XYZ", "gamma")] {

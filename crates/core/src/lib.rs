@@ -50,7 +50,8 @@ pub mod relationships;
 pub mod secondary;
 pub mod unique;
 
+pub use access::{ObjectQuery, ObjectRecord, Warehouse};
 pub use config::AladinConfig;
 pub use error::{AladinError, AladinResult};
-pub use metadata::{Link, LinkKind, MetadataRepository, ObjectRef, SourceStructure};
+pub use metadata::{Link, LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, SourceStructure};
 pub use pipeline::{Aladin, IntegrationReport};

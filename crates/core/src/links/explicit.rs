@@ -135,7 +135,11 @@ pub fn discover_explicit_links(
         if !index.is_empty() {
             targets.push(Target {
                 table,
-                avg_len: if n == 0 { 0.0 } else { total_len as f64 / n as f64 },
+                avg_len: if n == 0 {
+                    0.0
+                } else {
+                    total_len as f64 / n as f64
+                },
                 index,
             });
         }
@@ -294,12 +298,17 @@ mod tests {
             ]),
         )
         .unwrap();
-        for (acc, title) in [("1ABC", "kinase structure"), ("2DEF", "transporter"), ("3GHI", "unrelated")] {
+        for (acc, title) in [
+            ("1ABC", "kinase structure"),
+            ("2DEF", "transporter"),
+            ("3GHI", "unrelated"),
+        ] {
             db.insert("structures", vec![Value::text(acc), Value::text(title)])
                 .unwrap();
         }
         for (id, acc) in [(1, "1ABC"), (2, "2DEF"), (3, "3GHI")] {
-            db.insert("chains", vec![Value::Int(id), Value::text(acc)]).unwrap();
+            db.insert("chains", vec![Value::Int(id), Value::text(acc)])
+                .unwrap();
         }
         db
     }
@@ -343,7 +352,10 @@ mod tests {
         assert!(pairs.contains(&("P10002".to_string(), "2DEF".to_string())));
         // No link into the unreferenced structure.
         assert!(!pairs.iter().any(|(_, to)| to == "3GHI"));
-        assert!(outcome.links.iter().all(|l| l.kind == LinkKind::ExplicitCrossRef));
+        assert!(outcome
+            .links
+            .iter()
+            .all(|l| l.kind == LinkKind::ExplicitCrossRef));
     }
 
     #[test]

@@ -302,7 +302,11 @@ mod tests {
         for (acc, desc, sequence) in entries {
             db.insert(
                 "entries",
-                vec![Value::text(*acc), Value::text(*desc), Value::text(*sequence)],
+                vec![
+                    Value::text(*acc),
+                    Value::text(*desc),
+                    Value::text(*sequence),
+                ],
             )
             .unwrap();
         }
@@ -326,15 +330,27 @@ mod tests {
         let a = protein_source(
             "protkb",
             &[
-                ("P10001", "serine kinase involved in signalling pathways", &shared),
+                (
+                    "P10001",
+                    "serine kinase involved in signalling pathways",
+                    &shared,
+                ),
                 ("P10002", "membrane transporter for sugar molecules", &other),
             ],
         );
         let b = protein_source(
             "archive",
             &[
-                ("PA0001", "probable serine kinase involved in signalling", &shared),
-                ("PA0002", "ribosomal assembly factor for small subunit", &seq("AAAACCCCDDDDEEEEFFFF", 3)),
+                (
+                    "PA0001",
+                    "probable serine kinase involved in signalling",
+                    &shared,
+                ),
+                (
+                    "PA0002",
+                    "ribosomal assembly factor for small subunit",
+                    &seq("AAAACCCCDDDDEEEEFFFF", 3),
+                ),
             ],
         );
         let cfg = config();
@@ -356,15 +372,31 @@ mod tests {
         let a = protein_source(
             "protkb",
             &[
-                ("P10001", "serine threonine kinase involved in cell cycle regulation", &seq("MKTAYIAKQR", 5)),
-                ("P10002", "glucose membrane transporter of the plasma membrane", &seq("GGGGWWWWLL", 5)),
+                (
+                    "P10001",
+                    "serine threonine kinase involved in cell cycle regulation",
+                    &seq("MKTAYIAKQR", 5),
+                ),
+                (
+                    "P10002",
+                    "glucose membrane transporter of the plasma membrane",
+                    &seq("GGGGWWWWLL", 5),
+                ),
             ],
         );
         let b = protein_source(
             "genedb",
             &[
-                ("ENSG00000000001", "gene encoding a serine threonine kinase for cell cycle regulation", &seq("ACGTACGTAA", 5)),
-                ("ENSG00000000002", "gene encoding a ribosomal protein of the large subunit", &seq("TTTTGGGGCC", 5)),
+                (
+                    "ENSG00000000001",
+                    "gene encoding a serine threonine kinase for cell cycle regulation",
+                    &seq("ACGTACGTAA", 5),
+                ),
+                (
+                    "ENSG00000000002",
+                    "gene encoding a ribosomal protein of the large subunit",
+                    &seq("TTTTGGGGCC", 5),
+                ),
             ],
         );
         let cfg = config();
@@ -389,18 +421,41 @@ mod tests {
             TableSchema::of(vec![ColumnDef::text("acc"), ColumnDef::text("go_term")]),
         )
         .unwrap();
-        a.insert("entries", vec![Value::text("P10001"), Value::text("GO:0000001")]).unwrap();
-        a.insert("entries", vec![Value::text("P10002"), Value::text("GO:0000002")]).unwrap();
-        a.insert("entries", vec![Value::text("P10003"), Value::text("GO:0000001")]).unwrap();
+        a.insert(
+            "entries",
+            vec![Value::text("P10001"), Value::text("GO:0000001")],
+        )
+        .unwrap();
+        a.insert(
+            "entries",
+            vec![Value::text("P10002"), Value::text("GO:0000002")],
+        )
+        .unwrap();
+        a.insert(
+            "entries",
+            vec![Value::text("P10003"), Value::text("GO:0000001")],
+        )
+        .unwrap();
 
         let mut b = Database::new("genedb");
         b.create_table(
             "genes",
-            TableSchema::of(vec![ColumnDef::text("gene_acc"), ColumnDef::text("annotation")]),
+            TableSchema::of(vec![
+                ColumnDef::text("gene_acc"),
+                ColumnDef::text("annotation"),
+            ]),
         )
         .unwrap();
-        b.insert("genes", vec![Value::text("ENSG00000000001"), Value::text("GO:0000001")]).unwrap();
-        b.insert("genes", vec![Value::text("ENSG00000000002"), Value::text("GO:0000009")]).unwrap();
+        b.insert(
+            "genes",
+            vec![Value::text("ENSG00000000001"), Value::text("GO:0000001")],
+        )
+        .unwrap();
+        b.insert(
+            "genes",
+            vec![Value::text("ENSG00000000002"), Value::text("GO:0000009")],
+        )
+        .unwrap();
 
         let cfg = config();
         let sa = analyze_database(&a, &cfg).unwrap();
@@ -417,16 +472,32 @@ mod tests {
 
     #[test]
     fn sources_without_matching_fields_produce_no_links() {
-        let a = protein_source("protkb", &[("P10001", "some kinase protein description here", &seq("MKTAYIAKQR", 4))]);
+        let a = protein_source(
+            "protkb",
+            &[(
+                "P10001",
+                "some kinase protein description here",
+                &seq("MKTAYIAKQR", 4),
+            )],
+        );
         let mut b = Database::new("taxdb");
-        b.create_table("taxa", TableSchema::of(vec![ColumnDef::text("code"), ColumnDef::int("taxid")]))
+        b.create_table(
+            "taxa",
+            TableSchema::of(vec![ColumnDef::text("code"), ColumnDef::int("taxid")]),
+        )
+        .unwrap();
+        b.insert("taxa", vec![Value::text("TX09606"), Value::Int(9606)])
             .unwrap();
-        b.insert("taxa", vec![Value::text("TX09606"), Value::Int(9606)]).unwrap();
-        b.insert("taxa", vec![Value::text("TX10090"), Value::Int(10090)]).unwrap();
+        b.insert("taxa", vec![Value::text("TX10090"), Value::Int(10090)])
+            .unwrap();
         let cfg = config();
         let sa = analyze_database(&a, &cfg).unwrap();
         let sb = analyze_database(&b, &cfg).unwrap();
-        assert!(discover_sequence_links(&a, &sa, &b, &sb, &cfg).unwrap().is_empty());
-        assert!(discover_text_links(&a, &sa, &b, &sb, &cfg).unwrap().is_empty());
+        assert!(discover_sequence_links(&a, &sa, &b, &sb, &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(discover_text_links(&a, &sa, &b, &sb, &cfg)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -10,7 +10,7 @@
 use aladin_relstore::stats::ColumnStats;
 use aladin_schema_match::ind::InclusionDependency;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
@@ -47,7 +47,7 @@ impl fmt::Display for ObjectRef {
 }
 
 /// The kind of a discovered object-level link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LinkKind {
     /// An explicit cross-reference found in the data.
     ExplicitCrossRef,
@@ -209,6 +209,48 @@ pub struct StepTiming {
     pub output_count: usize,
 }
 
+/// One end of a link as seen from a given object: the object on the other
+/// side, how the link was discovered, and its confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neighbour {
+    /// The object on the other side of the link.
+    pub object: ObjectRef,
+    /// How the link was discovered.
+    pub kind: LinkKind,
+    /// Confidence score of the link.
+    pub score: f64,
+}
+
+/// A prebuilt adjacency map over every stored link (including duplicates),
+/// indexed by object. Building it once is `O(links)`; afterwards every
+/// neighbourhood lookup is `O(1)` instead of a scan over the whole link set —
+/// the access layer builds one per query (or reuses the cached one owned by
+/// [`crate::access::Warehouse`]) rather than calling
+/// [`MetadataRepository::links_of`] per object.
+#[derive(Debug, Clone, Default)]
+pub struct LinkAdjacency {
+    map: HashMap<ObjectRef, Vec<Neighbour>>,
+    generation: u64,
+}
+
+impl LinkAdjacency {
+    /// Neighbours of an object, best (highest-scoring) first; empty when the
+    /// object has no links.
+    pub fn neighbours(&self, object: &ObjectRef) -> &[Neighbour] {
+        self.map.get(object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of objects that have at least one link.
+    pub fn object_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The repository generation this adjacency was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 /// The metadata repository.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetadataRepository {
@@ -216,6 +258,10 @@ pub struct MetadataRepository {
     links: Vec<Link>,
     duplicates: Vec<Link>,
     timings: Vec<StepTiming>,
+    /// Monotone counter bumped by every structural mutation; cached access
+    /// structures (search index, adjacency map) compare it to decide whether
+    /// they are stale.
+    generation: u64,
 }
 
 impl MetadataRepository {
@@ -224,8 +270,17 @@ impl MetadataRepository {
         MetadataRepository::default()
     }
 
+    /// The current generation: bumped by every structural mutation. Cached
+    /// access structures remember the generation they were built from and
+    /// rebuild when it no longer matches, which makes stale caches
+    /// impossible without any manual invalidation call.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Register (or replace) the structure of a source.
     pub fn put_structure(&mut self, structure: SourceStructure) {
+        self.generation += 1;
         self.structures.insert(structure.source.clone(), structure);
     }
 
@@ -247,6 +302,7 @@ impl MetadataRepository {
     /// Remove a source's structure, its links and its duplicates (used on
     /// refresh).
     pub fn remove_source(&mut self, source: &str) {
+        self.generation += 1;
         self.structures.remove(source);
         self.links
             .retain(|l| l.from.source != source && l.to.source != source);
@@ -257,11 +313,13 @@ impl MetadataRepository {
 
     /// Store discovered object-level links.
     pub fn add_links(&mut self, links: impl IntoIterator<Item = Link>) {
+        self.generation += 1;
         self.links.extend(links);
     }
 
     /// Store discovered duplicate links.
     pub fn add_duplicates(&mut self, duplicates: impl IntoIterator<Item = Link>) {
+        self.generation += 1;
         self.duplicates.extend(duplicates);
     }
 
@@ -277,12 +335,48 @@ impl MetadataRepository {
 
     /// Links attached to a given object (as source or target), including
     /// duplicates.
+    ///
+    /// This scans the whole link set; callers that look up more than one
+    /// object should use [`MetadataRepository::build_adjacency`] instead.
     pub fn links_of(&self, object: &ObjectRef) -> Vec<&Link> {
         self.links
             .iter()
             .chain(self.duplicates.iter())
             .filter(|l| &l.from == object || &l.to == object)
             .collect()
+    }
+
+    /// Build the adjacency map over every stored link and duplicate, in both
+    /// directions. Each object's neighbour list is sorted by descending score
+    /// (ties broken by neighbour identity, then kind) so traversal order is
+    /// deterministic and best links come first.
+    pub fn build_adjacency(&self) -> LinkAdjacency {
+        let mut map: HashMap<ObjectRef, Vec<Neighbour>> = HashMap::new();
+        for link in self.links.iter().chain(self.duplicates.iter()) {
+            map.entry(link.from.clone()).or_default().push(Neighbour {
+                object: link.to.clone(),
+                kind: link.kind,
+                score: link.score,
+            });
+            map.entry(link.to.clone()).or_default().push(Neighbour {
+                object: link.from.clone(),
+                kind: link.kind,
+                score: link.score,
+            });
+        }
+        for neighbours in map.values_mut() {
+            neighbours.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.object.cmp(&b.object))
+                    .then_with(|| a.kind.cmp(&b.kind))
+            });
+        }
+        LinkAdjacency {
+            map,
+            generation: self.generation,
+        }
     }
 
     /// Record a step timing.
@@ -395,6 +489,57 @@ mod tests {
         assert_eq!(s.accession_column_of("protkb_kw"), None);
         assert!(s.secondary("protkb_kw").is_some());
         assert!(s.stats("protkb_entry", "ac").is_none());
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let mut repo = MetadataRepository::new();
+        let g0 = repo.generation();
+        repo.put_structure(SourceStructure {
+            source: "protkb".into(),
+            ..Default::default()
+        });
+        assert!(repo.generation() > g0);
+        let g1 = repo.generation();
+        repo.add_links(vec![link("P1", "1ABC", LinkKind::ExplicitCrossRef)]);
+        assert!(repo.generation() > g1);
+        let g2 = repo.generation();
+        repo.add_duplicates(vec![link("P1", "1ABC", LinkKind::Duplicate)]);
+        assert!(repo.generation() > g2);
+        let g3 = repo.generation();
+        repo.remove_source("protkb");
+        assert!(repo.generation() > g3);
+        // Read-only calls do not bump.
+        let g4 = repo.generation();
+        let _ = repo.links();
+        let _ = repo.build_adjacency();
+        assert_eq!(repo.generation(), g4);
+    }
+
+    #[test]
+    fn adjacency_indexes_both_directions_and_sorts_by_score() {
+        let mut repo = MetadataRepository::new();
+        let mut weak = link("P1", "1ABC", LinkKind::SharedTerm);
+        weak.score = 0.2;
+        repo.add_links(vec![link("P1", "2DEF", LinkKind::ExplicitCrossRef), weak]);
+        repo.add_duplicates(vec![link("P1", "1ABC", LinkKind::Duplicate)]);
+        let adjacency = repo.build_adjacency();
+        assert_eq!(adjacency.generation(), repo.generation());
+        assert_eq!(adjacency.object_count(), 3);
+
+        let p1 = ObjectRef::new("protkb", "protkb_entry", "P1");
+        let neighbours = adjacency.neighbours(&p1);
+        assert_eq!(neighbours.len(), 3);
+        // Highest score first; the 0.2 shared-term link is last.
+        assert_eq!(neighbours[2].kind, LinkKind::SharedTerm);
+        assert!(neighbours[0].score >= neighbours[1].score);
+
+        // The reverse direction exists too, and unknown objects are empty.
+        let back = ObjectRef::new("structdb", "structures", "2DEF");
+        assert_eq!(adjacency.neighbours(&back).len(), 1);
+        assert_eq!(adjacency.neighbours(&back)[0].object, p1);
+        let nobody = ObjectRef::new("protkb", "protkb_entry", "P9");
+        assert!(adjacency.neighbours(&nobody).is_empty());
     }
 
     #[test]

@@ -14,9 +14,7 @@ use crate::links::explicit::discover_explicit_links;
 use crate::links::implicit::{
     discover_sequence_links, discover_shared_term_links, discover_text_links,
 };
-use crate::metadata::{
-    Link, MetadataRepository, ObjectRef, SourceStructure, StepTiming,
-};
+use crate::metadata::{Link, MetadataRepository, ObjectRef, SourceStructure, StepTiming};
 use crate::primary::select_primary_relations;
 use crate::relationships::discover_relationships;
 use crate::secondary::discover_secondary_relations;
@@ -377,6 +375,13 @@ impl Aladin {
         self.add_database(db).map(Some)
     }
 
+    /// Wrap this pipeline in the unified access facade
+    /// ([`crate::access::Warehouse`]), the entry point for browsing,
+    /// searching and querying with cached access structures.
+    pub fn into_warehouse(self) -> crate::access::Warehouse {
+        crate::access::Warehouse::from_aladin(self)
+    }
+
     /// All primary objects of a source as object references.
     pub fn objects_of(&self, source: &str) -> AladinResult<Vec<ObjectRef>> {
         let db = self.database(source)?;
@@ -452,7 +457,11 @@ mod tests {
             )
             .unwrap();
         }
-        for (id, entry, v) in [(1, 1, "STRUCTDB; 1ABC"), (2, 2, "STRUCTDB; 2DEF"), (3, 3, "STRUCTDB; 3GHI")] {
+        for (id, entry, v) in [
+            (1, 1, "STRUCTDB; 1ABC"),
+            (2, 2, "STRUCTDB; 2DEF"),
+            (3, 3, "STRUCTDB; 3GHI"),
+        ] {
             db.insert(
                 "protkb_dr",
                 vec![Value::Int(id), Value::Int(entry), Value::text(v)],
@@ -474,7 +483,10 @@ mod tests {
         .unwrap();
         db.create_table(
             "chains",
-            TableSchema::of(vec![ColumnDef::int("chain_id"), ColumnDef::text("structure_id")]),
+            TableSchema::of(vec![
+                ColumnDef::int("chain_id"),
+                ColumnDef::text("structure_id"),
+            ]),
         )
         .unwrap();
         for (acc, title) in [
@@ -482,10 +494,12 @@ mod tests {
             ("2DEF", "structure of a glucose transporter"),
             ("3GHI", "structure of a ribosomal factor"),
         ] {
-            db.insert("structures", vec![Value::text(acc), Value::text(title)]).unwrap();
+            db.insert("structures", vec![Value::text(acc), Value::text(title)])
+                .unwrap();
         }
         for (id, acc) in [(1, "1ABC"), (2, "2DEF"), (3, "3GHI")] {
-            db.insert("chains", vec![Value::Int(id), Value::text(acc)]).unwrap();
+            db.insert("chains", vec![Value::Int(id), Value::text(acc)])
+                .unwrap();
         }
         db
     }
@@ -590,7 +604,8 @@ mod tests {
             TableSchema::of(vec![ColumnDef::int("a"), ColumnDef::int("b")]),
         )
         .unwrap();
-        db.insert("numbers", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert("numbers", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
         let mut aladin = Aladin::new(config());
         let report = aladin.add_database(db).unwrap();
         assert!(report.primary_relations.is_empty());

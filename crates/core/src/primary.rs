@@ -28,7 +28,12 @@ pub fn select_primary_relations(
         ));
     }
     let degrees = in_degrees(relationships);
-    let degree_of = |table: &str| degrees.get(&table.to_ascii_lowercase()).copied().unwrap_or(0);
+    let degree_of = |table: &str| {
+        degrees
+            .get(&table.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    };
 
     let mut scored: Vec<PrimaryRelation> = candidates
         .iter()

@@ -71,7 +71,9 @@ pub fn discover_relationships(
 /// *distinct referencing tables* pointing at it. This is the quantity the
 /// primary-relation heuristic maximizes ("many tables necessarily point to the
 /// primary relation").
-pub fn in_degrees(relationships: &[InclusionDependency]) -> std::collections::BTreeMap<String, usize> {
+pub fn in_degrees(
+    relationships: &[InclusionDependency],
+) -> std::collections::BTreeMap<String, usize> {
     use std::collections::{BTreeMap, BTreeSet};
     let mut referencing: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for r in relationships {
@@ -128,8 +130,11 @@ mod tests {
             .unwrap();
         }
         for (id, be, t) in [(1, 1, "PDB:1ABC"), (2, 2, "PDB:2DEF"), (3, 2, "GO:0001")] {
-            db.insert("dbref", vec![Value::Int(id), Value::Int(be), Value::text(t)])
-                .unwrap();
+            db.insert(
+                "dbref",
+                vec![Value::Int(id), Value::Int(be), Value::text(t)],
+            )
+            .unwrap();
         }
         for (id, be, t) in [(1, 1, "Kinase"), (2, 3, "Transport")] {
             db.insert(
@@ -150,8 +155,9 @@ mod tests {
             && r.source_column == "bioentry_id"
             && r.target_table == "bioentry"
             && !r.declared));
-        assert!(rels.iter().any(|r| r.source_table == "keyword"
-            && r.target_table == "bioentry"));
+        assert!(rels
+            .iter()
+            .any(|r| r.source_table == "keyword" && r.target_table == "bioentry"));
         // Nothing self-referencing.
         assert!(rels
             .iter()

@@ -262,7 +262,8 @@ pub(crate) fn find_relationship<'a>(
     relationships
         .iter()
         .filter(|r| {
-            (r.source_table.eq_ignore_ascii_case(parent) && r.target_table.eq_ignore_ascii_case(child))
+            (r.source_table.eq_ignore_ascii_case(parent)
+                && r.target_table.eq_ignore_ascii_case(child))
                 || (r.source_table.eq_ignore_ascii_case(child)
                     && r.target_table.eq_ignore_ascii_case(parent))
         })
@@ -319,11 +320,8 @@ mod tests {
             ]),
         )
         .unwrap();
-        db.create_table(
-            "isolated",
-            TableSchema::of(vec![ColumnDef::int("x")]),
-        )
-        .unwrap();
+        db.create_table("isolated", TableSchema::of(vec![ColumnDef::int("x")]))
+            .unwrap();
         for i in 1..=3i64 {
             db.insert(
                 "protkb_entry",
@@ -331,7 +329,11 @@ mod tests {
             )
             .unwrap();
         }
-        for (id, entry, v) in [(1, 1, "STRUCTDB; 1ABC"), (2, 1, "GO:0001"), (3, 3, "STRUCTDB; 2DEF")] {
+        for (id, entry, v) in [
+            (1, 1, "STRUCTDB; 1ABC"),
+            (2, 1, "GO:0001"),
+            (3, 3, "STRUCTDB; 2DEF"),
+        ] {
             db.insert(
                 "protkb_dr",
                 vec![Value::Int(id), Value::Int(entry), Value::text(v)],
@@ -369,8 +371,7 @@ mod tests {
     #[test]
     fn owner_resolution_on_primary_table_returns_accessions() {
         let db = db();
-        let owners =
-            owner_accessions(&db, &primaries(), &[], &rels(), "protkb_entry").unwrap();
+        let owners = owner_accessions(&db, &primaries(), &[], &rels(), "protkb_entry").unwrap();
         assert_eq!(
             owners,
             vec![
@@ -408,7 +409,10 @@ mod tests {
         .unwrap();
         db.create_table(
             "feature",
-            TableSchema::of(vec![ColumnDef::int("feature_id"), ColumnDef::int("entry_id")]),
+            TableSchema::of(vec![
+                ColumnDef::int("feature_id"),
+                ColumnDef::int("entry_id"),
+            ]),
         )
         .unwrap();
         db.create_table(
@@ -420,10 +424,14 @@ mod tests {
             ]),
         )
         .unwrap();
-        db.insert("entry", vec![Value::Int(1), Value::text("ACC01")]).unwrap();
-        db.insert("entry", vec![Value::Int(2), Value::text("ACC02")]).unwrap();
-        db.insert("feature", vec![Value::Int(10), Value::Int(1)]).unwrap();
-        db.insert("feature", vec![Value::Int(20), Value::Int(2)]).unwrap();
+        db.insert("entry", vec![Value::Int(1), Value::text("ACC01")])
+            .unwrap();
+        db.insert("entry", vec![Value::Int(2), Value::text("ACC02")])
+            .unwrap();
+        db.insert("feature", vec![Value::Int(10), Value::Int(1)])
+            .unwrap();
+        db.insert("feature", vec![Value::Int(20), Value::Int(2)])
+            .unwrap();
         db.insert(
             "feature_note",
             vec![Value::Int(100), Value::Int(20), Value::text("binding site")],

@@ -97,9 +97,7 @@ mod tests {
         })
         .unwrap();
         let uniques = detect_unique_columns(&db).unwrap();
-        assert!(uniques
-            .iter()
-            .any(|u| u.column == "name" && u.declared));
+        assert!(uniques.iter().any(|u| u.column == "name" && u.declared));
     }
 
     #[test]

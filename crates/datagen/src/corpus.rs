@@ -288,10 +288,10 @@ fn build_truth(config: &CorpusConfig, world: &World, emitted: &[EmittedXref]) ->
     // Object links.
     let mut links = Vec::new();
     let push_link = |from_source: &str,
-                         from_acc: &str,
-                         to_source: &str,
-                         to_acc: &str,
-                         links: &mut Vec<ObjectLink>| {
+                     from_acc: &str,
+                     to_source: &str,
+                     to_acc: &str,
+                     links: &mut Vec<ObjectLink>| {
         links.push(ObjectLink {
             from_source: from_source.to_string(),
             from_accession: from_acc.to_string(),
@@ -484,7 +484,11 @@ mod tests {
         for (db, truth) in dbs.iter().zip(&corpus.truth.sources) {
             assert_eq!(db.name(), truth.source);
             for table in &truth.primary_tables {
-                assert!(db.table(table).is_ok(), "{}: missing primary table {table}", db.name());
+                assert!(
+                    db.table(table).is_ok(),
+                    "{}: missing primary table {table}",
+                    db.name()
+                );
             }
             for (table, column) in truth.primary_tables.iter().zip(&truth.accession_columns) {
                 let t = db.table(table).unwrap();

@@ -49,7 +49,12 @@ pub fn render<R: Rng>(
         let uniprot_ref = if rng.gen_bool(EXPLICIT_REF_FRACTION) {
             let p_acc = protein.protkb_accession.clone().unwrap_or_default();
             if !p_acc.is_empty() {
-                xrefs.push(EmittedXref::new(NAME, a_acc, super::protein_kb::NAME, &p_acc));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    a_acc,
+                    super::protein_kb::NAME,
+                    &p_acc,
+                ));
             }
             p_acc
         } else {
@@ -180,6 +185,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let (_, xrefs) = render(&world, &config, &mut rng);
         let archived = world.archived_proteins().count();
-        assert!(xrefs.len() < archived / 2, "{} xrefs for {archived} entries", xrefs.len());
+        assert!(
+            xrefs.len() < archived / 2,
+            "{} xrefs for {archived} entries",
+            xrefs.len()
+        );
     }
 }

@@ -45,7 +45,12 @@ pub fn render<R: Rng>(
                     "    <xref db=\"PROTKB\" accession=\"{}\"/>\n",
                     xml_escape(p_acc)
                 ));
-                xrefs.push(EmittedXref::new(NAME, g_acc, super::protein_kb::NAME, p_acc));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    g_acc,
+                    super::protein_kb::NAME,
+                    p_acc,
+                ));
             }
         }
         for &term in protein.terms.iter().take(1) {
@@ -56,7 +61,12 @@ pub fn render<R: Rng>(
                     "    <xref db=\"ONTODB\" accession=\"{}\"/>\n",
                     xml_escape(&ids::composite_xref("ontodb", t_acc))
                 ));
-                xrefs.push(EmittedXref::new(NAME, g_acc, super::ontology_src::NAME, t_acc));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    g_acc,
+                    super::ontology_src::NAME,
+                    t_acc,
+                ));
             }
         }
         xml.push_str(&format!(
@@ -79,10 +89,7 @@ pub fn render<R: Rng>(
             ));
             for protein in chunk {
                 let g_acc = protein.gene_accession.as_ref().expect("gene protein");
-                xml.push_str(&format!(
-                    "    <gene_ref gene=\"{}\"/>\n",
-                    xml_escape(g_acc)
-                ));
+                xml.push_str(&format!("    <gene_ref gene=\"{}\"/>\n", xml_escape(g_acc)));
             }
             xml.push_str("  </clone>\n");
         }

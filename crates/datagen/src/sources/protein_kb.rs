@@ -57,7 +57,12 @@ pub fn render<R: Rng>(
         if let Some(s_acc) = &protein.structure_accession {
             if !rng.gen_bool(drop_rate) {
                 out.push_str(&format!("DR   STRUCTDB; {s_acc}\n"));
-                xrefs.push(EmittedXref::new(NAME, acc, super::structure_db::NAME, s_acc));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    acc,
+                    super::structure_db::NAME,
+                    s_acc,
+                ));
             }
         }
         if let Some(g_acc) = &protein.gene_accession {
@@ -70,7 +75,12 @@ pub fn render<R: Rng>(
             let t_acc = &world.terms[term].accession;
             if !rng.gen_bool(drop_rate) {
                 out.push_str(&format!("DR   ONTODB; {t_acc}\n"));
-                xrefs.push(EmittedXref::new(NAME, acc, super::ontology_src::NAME, t_acc));
+                xrefs.push(EmittedXref::new(
+                    NAME,
+                    acc,
+                    super::ontology_src::NAME,
+                    t_acc,
+                ));
             }
         }
         out.push_str("SQ   SEQUENCE\n");

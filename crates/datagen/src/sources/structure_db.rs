@@ -87,7 +87,8 @@ pub fn render_flavour<R: Rng>(
     rng: &mut R,
 ) -> (SourceDump, Vec<EmittedXref>) {
     let name = format!("{NAME}_{flavour}");
-    let mut structures = String::from("entry_code,structure_title,resolution_angstrom,exp_method\n");
+    let mut structures =
+        String::from("entry_code,structure_title,resolution_angstrom,exp_method\n");
     for s in &world.structures {
         // Different cleansing: title case differences and re-measured resolution.
         let jitter: f64 = (rng.gen_range(-10..=10) as f64) / 100.0;

@@ -20,7 +20,10 @@ pub fn render(world: &World) -> (SourceDump, Vec<EmittedXref>) {
             t.taxid,
             csv_escape(&t.scientific_name),
             csv_escape(&t.common_name),
-            csv_escape(&format!("cellular organisms; Eukaryota; {}", t.scientific_name))
+            csv_escape(&format!(
+                "cellular organisms; Eukaryota; {}",
+                t.scientific_name
+            ))
         ));
     }
     let dump = SourceDump {

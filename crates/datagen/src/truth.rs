@@ -97,8 +97,7 @@ impl GroundTruth {
         self.links
             .iter()
             .filter(|l| {
-                (l.from_source == a && l.to_source == b)
-                    || (l.from_source == b && l.to_source == a)
+                (l.from_source == a && l.to_source == b) || (l.from_source == b && l.to_source == a)
             })
             .collect()
     }

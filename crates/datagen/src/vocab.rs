@@ -5,33 +5,98 @@ use rand::Rng;
 
 /// Protein-function head nouns.
 pub const FUNCTION_NOUNS: &[&str] = &[
-    "kinase", "phosphatase", "transporter", "receptor", "ligase", "hydrolase", "oxidoreductase",
-    "transferase", "isomerase", "protease", "chaperone", "polymerase", "helicase", "nuclease",
-    "synthase", "dehydrogenase", "reductase", "carboxylase", "permease", "channel",
+    "kinase",
+    "phosphatase",
+    "transporter",
+    "receptor",
+    "ligase",
+    "hydrolase",
+    "oxidoreductase",
+    "transferase",
+    "isomerase",
+    "protease",
+    "chaperone",
+    "polymerase",
+    "helicase",
+    "nuclease",
+    "synthase",
+    "dehydrogenase",
+    "reductase",
+    "carboxylase",
+    "permease",
+    "channel",
 ];
 
 /// Function modifiers.
 pub const FUNCTION_MODIFIERS: &[&str] = &[
-    "serine/threonine", "tyrosine", "ATP-dependent", "membrane", "mitochondrial", "nuclear",
-    "cytoplasmic", "calcium-activated", "zinc-binding", "DNA-directed", "RNA-binding",
-    "ubiquitin-like", "heat shock", "ribosomal", "glycolytic", "secreted", "transmembrane",
-    "vesicular", "lysosomal", "peroxisomal",
+    "serine/threonine",
+    "tyrosine",
+    "ATP-dependent",
+    "membrane",
+    "mitochondrial",
+    "nuclear",
+    "cytoplasmic",
+    "calcium-activated",
+    "zinc-binding",
+    "DNA-directed",
+    "RNA-binding",
+    "ubiquitin-like",
+    "heat shock",
+    "ribosomal",
+    "glycolytic",
+    "secreted",
+    "transmembrane",
+    "vesicular",
+    "lysosomal",
+    "peroxisomal",
 ];
 
 /// Biological-process phrases for descriptions and ontology terms.
 pub const PROCESSES: &[&str] = &[
-    "cell cycle regulation", "signal transduction", "apoptosis", "DNA repair", "protein folding",
-    "lipid metabolism", "glucose uptake", "ion transport", "transcription initiation",
-    "mRNA splicing", "chromatin remodeling", "vesicle trafficking", "immune response",
-    "oxidative stress response", "cell adhesion", "cytoskeleton organization",
-    "protein degradation", "translation elongation", "membrane fusion", "nucleotide biosynthesis",
+    "cell cycle regulation",
+    "signal transduction",
+    "apoptosis",
+    "DNA repair",
+    "protein folding",
+    "lipid metabolism",
+    "glucose uptake",
+    "ion transport",
+    "transcription initiation",
+    "mRNA splicing",
+    "chromatin remodeling",
+    "vesicle trafficking",
+    "immune response",
+    "oxidative stress response",
+    "cell adhesion",
+    "cytoskeleton organization",
+    "protein degradation",
+    "translation elongation",
+    "membrane fusion",
+    "nucleotide biosynthesis",
 ];
 
 /// Keyword vocabulary (Swiss-Prot style KW lines).
 pub const KEYWORDS: &[&str] = &[
-    "Kinase", "ATP-binding", "Membrane", "Transport", "Nucleus", "Cytoplasm", "Metal-binding",
-    "Zinc", "Phosphoprotein", "Glycoprotein", "Disease variant", "Transferase", "Hydrolase",
-    "Receptor", "Signal", "Transmembrane", "DNA-binding", "RNA-binding", "Repeat", "Coiled coil",
+    "Kinase",
+    "ATP-binding",
+    "Membrane",
+    "Transport",
+    "Nucleus",
+    "Cytoplasm",
+    "Metal-binding",
+    "Zinc",
+    "Phosphoprotein",
+    "Glycoprotein",
+    "Disease variant",
+    "Transferase",
+    "Hydrolase",
+    "Receptor",
+    "Signal",
+    "Transmembrane",
+    "DNA-binding",
+    "RNA-binding",
+    "Repeat",
+    "Coiled coil",
 ];
 
 /// Organisms: (scientific name, common name, NCBI-like taxid).
@@ -49,11 +114,15 @@ pub const ORGANISMS: &[(&str, &str, i64)] = &[
 ];
 
 /// Experimental methods for structures.
-pub const STRUCTURE_METHODS: &[&str] = &["X-RAY DIFFRACTION", "SOLUTION NMR", "ELECTRON MICROSCOPY"];
+pub const STRUCTURE_METHODS: &[&str] =
+    &["X-RAY DIFFRACTION", "SOLUTION NMR", "ELECTRON MICROSCOPY"];
 
 /// Experimental methods for interaction detection.
 pub const INTERACTION_METHODS: &[&str] = &[
-    "two hybrid", "coimmunoprecipitation", "pull down", "tandem affinity purification",
+    "two hybrid",
+    "coimmunoprecipitation",
+    "pull down",
+    "tandem affinity purification",
     "x-ray crystallography",
 ];
 
@@ -80,7 +149,11 @@ pub fn gene_symbol(family: &str, index: usize) -> String {
         .map(|w| w.chars().next().unwrap().to_ascii_uppercase())
         .take(3)
         .collect();
-    let letters = if letters.is_empty() { "GEN".to_string() } else { letters };
+    let letters = if letters.is_empty() {
+        "GEN".to_string()
+    } else {
+        letters
+    };
     format!("{letters}{}", index + 1)
 }
 
@@ -99,13 +172,16 @@ pub fn protein_description<R: Rng>(rng: &mut R, family: &str, member_index: usiz
 /// phrase is swapped for a different one and a qualifier is prepended.
 pub fn reword_description<R: Rng>(rng: &mut R, original: &str, noise: f64) -> String {
     if rng.gen_bool(noise.clamp(0.0, 1.0)) {
-        let qualifier = ["probable", "putative", "uncharacterized"][rng.gen_range(0..3)];
+        let qualifier = ["probable", "putative", "uncharacterized"][rng.gen_range(0..3usize)];
         let head = original
             .split(" involved in ")
             .next()
             .unwrap_or(original)
             .to_string();
-        format!("{qualifier} {head} associated with {}", pick(rng, PROCESSES))
+        format!(
+            "{qualifier} {head} associated with {}",
+            pick(rng, PROCESSES)
+        )
     } else {
         original.to_string()
     }

@@ -164,7 +164,11 @@ impl World {
             .collect();
 
         // Ontology terms: a forest of shallow trees.
-        let namespaces = ["biological_process", "molecular_function", "cellular_component"];
+        let namespaces = [
+            "biological_process",
+            "molecular_function",
+            "cellular_component",
+        ];
         let terms: Vec<Term> = (0..config.n_terms.max(1))
             .map(|i| {
                 let process = vocab::PROCESSES[i % vocab::PROCESSES.len()];
@@ -210,8 +214,7 @@ impl World {
             let family = i % n_families;
             let family_member = i / n_families;
             let fam = &families[family];
-            let protein_sequence =
-                mutate_sequence(&mut rng, &fam.ancestor_sequence, 0.08, 0.01);
+            let protein_sequence = mutate_sequence(&mut rng, &fam.ancestor_sequence, 0.08, 0.01);
             let dna_sequence = reverse_translate(&protein_sequence);
             let name = format!("{} {}", fam.name, family_member + 1);
             let symbol = vocab::gene_symbol(&fam.name, i);
@@ -319,7 +322,9 @@ impl World {
 
     /// Proteins present in the archive source (the protkb/archive overlap).
     pub fn archived_proteins(&self) -> impl Iterator<Item = &Protein> {
-        self.proteins.iter().filter(|p| p.archive_accession.is_some())
+        self.proteins
+            .iter()
+            .filter(|p| p.archive_accession.is_some())
     }
 
     /// Proteins with a gene entry.
@@ -344,7 +349,10 @@ mod tests {
         let w1 = World::generate(&config());
         let w2 = World::generate(&config());
         assert_eq!(w1.proteins.len(), w2.proteins.len());
-        assert_eq!(w1.proteins[5].protein_sequence, w2.proteins[5].protein_sequence);
+        assert_eq!(
+            w1.proteins[5].protein_sequence,
+            w2.proteins[5].protein_sequence
+        );
         assert_eq!(w1.structures.len(), w2.structures.len());
 
         let mut other = config();
@@ -389,16 +397,27 @@ mod tests {
         let w = World::generate(&config());
         let fam0: Vec<&Protein> = w.proteins.iter().filter(|p| p.family == 0).collect();
         assert!(fam0.len() >= 2);
-        // Same-family proteins derive from the same ancestor, so their lengths
-        // are close and a large fraction of positions agree.
-        let a = &fam0[0].protein_sequence;
-        let b = &fam0[1].protein_sequence;
-        let same = a
-            .chars()
-            .zip(b.chars())
-            .filter(|(x, y)| x == y)
-            .count();
-        assert!(same as f64 / a.len().min(b.len()) as f64 > 0.6);
+        // Same-family proteins derive from the same ancestor. Positional
+        // identity is fragile under the generator's indels (one early indel
+        // shifts every later position), so measure homology the way the
+        // homology-search code does: shared k-mers, which survive local
+        // substitutions and are frame-independent.
+        fn kmers(s: &str) -> std::collections::HashSet<&[u8]> {
+            s.as_bytes().windows(6).collect()
+        }
+        let a = kmers(&fam0[0].protein_sequence);
+        let b = kmers(&fam0[1].protein_sequence);
+        let shared = a.intersection(&b).count() as f64 / a.len().min(b.len()) as f64;
+        assert!(shared > 0.1, "same-family 6-mer overlap {shared:.3}");
+        // Cross-family sequences are unrelated: essentially no shared 6-mers.
+        let other = w
+            .proteins
+            .iter()
+            .find(|p| p.family == 1)
+            .expect("second family");
+        let c = kmers(&other.protein_sequence);
+        let cross = a.intersection(&c).count() as f64 / a.len().min(c.len()) as f64;
+        assert!(cross < shared / 2.0, "cross-family overlap {cross:.3}");
     }
 
     #[test]

@@ -12,15 +12,17 @@ fn arb_config() -> impl Strategy<Value = CorpusConfig> {
         (0.0f64..1.0),
         (0.0f64..0.6),
     )
-        .prop_map(|(seed, n_proteins, n_families, overlap, backlog, mutation)| CorpusConfig {
-            seed,
-            n_proteins,
-            n_families,
-            archive_overlap: overlap,
-            missing_xref_rate: backlog,
-            mutation_rate: mutation,
-            ..CorpusConfig::small(seed)
-        })
+        .prop_map(
+            |(seed, n_proteins, n_families, overlap, backlog, mutation)| CorpusConfig {
+                seed,
+                n_proteins,
+                n_families,
+                archive_overlap: overlap,
+                missing_xref_rate: backlog,
+                mutation_rate: mutation,
+                ..CorpusConfig::small(seed)
+            },
+        )
 }
 
 proptest! {

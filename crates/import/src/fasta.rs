@@ -67,8 +67,16 @@ pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportRe
             vec![
                 Value::Int((i + 1) as i64),
                 Value::text(acc),
-                if desc.is_empty() { Value::Null } else { Value::text(desc) },
-                if seq.is_empty() { Value::Null } else { Value::text(seq) },
+                if desc.is_empty() {
+                    Value::Null
+                } else {
+                    Value::text(desc)
+                },
+                if seq.is_empty() {
+                    Value::Null
+                } else {
+                    Value::text(seq)
+                },
             ],
         )?;
     }
@@ -111,7 +119,10 @@ MAAAKK
             t.cell(0, "sequence").unwrap(),
             &Value::text("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
         );
-        assert_eq!(t.cell(0, "description").unwrap(), &Value::text("Serine kinase A"));
+        assert_eq!(
+            t.cell(0, "description").unwrap(),
+            &Value::text("Serine kinase A")
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ fn parse_records(content: &str) -> ImportResult<Vec<RawRecord>> {
             continue;
         }
         if in_sequence && line.starts_with(' ') {
-            let seq: String = line.chars().filter(|c| !c.is_whitespace() && !c.is_ascii_digit()).collect();
+            let seq: String = line
+                .chars()
+                .filter(|c| !c.is_whitespace() && !c.is_ascii_digit())
+                .collect();
             current
                 .sequence
                 .get_or_insert_with(String::new)
@@ -324,6 +327,9 @@ SQ   SEQUENCE 20 AA
         let content = "AC   A0001\nSQ   SEQUENCE\n     ACGT ACGT 10\n     TTTT\n//\n";
         parse_into(&mut db, "f.dat", content).unwrap();
         let seq = db.table("f_seq").unwrap();
-        assert_eq!(seq.cell(0, "sequence").unwrap(), &Value::text("ACGTACGTTTTT"));
+        assert_eq!(
+            seq.cell(0, "sequence").unwrap(),
+            &Value::text("ACGTACGTTTTT")
+        );
     }
 }

@@ -86,10 +86,7 @@ pub fn import_files(
 /// Derive a table name from a file name: strip directories and the extension,
 /// lowercase, and replace non-alphanumeric characters with `_`.
 pub fn table_name_from_file(file_name: &str) -> String {
-    let base = file_name
-        .rsplit(['/', '\\'])
-        .next()
-        .unwrap_or(file_name);
+    let base = file_name.rsplit(['/', '\\']).next().unwrap_or(file_name);
     let stem = base.split('.').next().unwrap_or(base);
     let mut out: String = stem
         .chars()
@@ -117,7 +114,10 @@ mod tests {
     #[test]
     fn table_name_derivation() {
         assert_eq!(table_name_from_file("structures.csv"), "structures");
-        assert_eq!(table_name_from_file("data/Protein-Entries.txt"), "protein_entries");
+        assert_eq!(
+            table_name_from_file("data/Protein-Entries.txt"),
+            "protein_entries"
+        );
         assert_eq!(table_name_from_file("3d.tsv"), "t3d");
         assert_eq!(table_name_from_file(""), "table");
     }

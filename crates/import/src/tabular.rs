@@ -181,7 +181,10 @@ mod tests {
         let csv = "id,score\n1,5\n2,2.5\n";
         parse_into(&mut db, "scores.csv", csv).unwrap();
         let t = db.table("scores").unwrap();
-        assert_eq!(t.schema().column("score").unwrap().data_type, DataType::Float);
+        assert_eq!(
+            t.schema().column("score").unwrap().data_type,
+            DataType::Float
+        );
         assert_eq!(t.cell(0, "score").unwrap(), &Value::Float(5.0));
     }
 
@@ -192,7 +195,10 @@ mod tests {
         parse_into(&mut db, "x.csv", csv).unwrap();
         let t = db.table("x").unwrap();
         assert_eq!(t.cell(1, "taxon").unwrap(), &Value::Null);
-        assert_eq!(t.schema().column("taxon").unwrap().data_type, DataType::Integer);
+        assert_eq!(
+            t.schema().column("taxon").unwrap().data_type,
+            DataType::Integer
+        );
     }
 
     #[test]

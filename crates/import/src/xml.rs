@@ -171,7 +171,9 @@ impl XmlParser {
                         self.pos += 1;
                     }
                     if self.peek() != Some(quote) {
-                        return Err(ImportError::Malformed("unterminated attribute value".into()));
+                        return Err(ImportError::Malformed(
+                            "unterminated attribute value".into(),
+                        ));
                     }
                     let value: String = self.chars[start..self.pos].iter().collect();
                     self.pos += 1;
@@ -272,20 +274,18 @@ pub fn shred_into(db: &mut Database, file_name: &str, content: &str) -> ImportRe
     for (name, shape) in &shapes {
         let table = format!("{prefix}_{name}");
         let mut cols = vec![ColumnDef::not_null(format!("{name}_id"), DataType::Integer)];
-        if !shape.is_root_only || shapes.len() == 1 {
-            cols.push(ColumnDef::int("parent_id"));
-            cols.push(ColumnDef::text("parent_type"));
-        } else {
-            cols.push(ColumnDef::int("parent_id"));
-            cols.push(ColumnDef::text("parent_type"));
-        }
+        cols.push(ColumnDef::int("parent_id"));
+        cols.push(ColumnDef::text("parent_type"));
         for a in &shape.attributes {
             cols.push(ColumnDef::text(a.clone()));
         }
         if shape.has_text {
             cols.push(ColumnDef::text("content"));
         }
-        db.create_table(&table, TableSchema::new(cols).map_err(ImportError::Storage)?)?;
+        db.create_table(
+            &table,
+            TableSchema::new(cols).map_err(ImportError::Storage)?,
+        )?;
     }
 
     // Pass 2: insert rows depth-first.
@@ -374,7 +374,10 @@ mod tests {
         let gene = &root.children[0];
         assert_eq!(gene.name, "gene");
         assert_eq!(gene.children.len(), 4);
-        assert_eq!(gene.children[0].text, "adaptor related protein complex 3 subunit sigma 1");
+        assert_eq!(
+            gene.children[0].text,
+            "adaptor related protein complex 3 subunit sigma 1"
+        );
         // entity decoding
         assert!(root.children[1].children[0].text.contains('&'));
     }
@@ -403,7 +406,10 @@ mod tests {
         assert_eq!(xref.cell(0, "accession").unwrap(), &Value::text("P12345"));
 
         let desc = db.table("genes_description").unwrap();
-        assert_eq!(desc.cell(1, "content").unwrap(), &Value::text("tumor protein p53 & regulator"));
+        assert_eq!(
+            desc.cell(1, "content").unwrap(),
+            &Value::text("tumor protein p53 & regulator")
+        );
     }
 
     #[test]

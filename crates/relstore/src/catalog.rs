@@ -239,7 +239,10 @@ mod tests {
         let mut db = Database::new("biosql");
         db.create_table(
             "bioentry",
-            TableSchema::of(vec![ColumnDef::int("bioentry_id"), ColumnDef::text("accession")]),
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+            ]),
         )
         .unwrap();
         db.create_table(
@@ -268,7 +271,10 @@ mod tests {
         let db = db();
         assert!(db.table("BIOENTRY").is_ok());
         assert!(db.table("BioEntry").is_ok());
-        assert!(matches!(db.table("missing"), Err(RelError::UnknownTable(_))));
+        assert!(matches!(
+            db.table("missing"),
+            Err(RelError::UnknownTable(_))
+        ));
         assert_eq!(db.table_count(), 2);
         assert_eq!(db.total_rows(), 3);
     }

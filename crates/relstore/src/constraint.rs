@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let fk = Constraint::ForeignKey(ForeignKey::new("dbref", "bioentry_id", "bioentry", "bioentry_id"));
+        let fk = Constraint::ForeignKey(ForeignKey::new(
+            "dbref",
+            "bioentry_id",
+            "bioentry",
+            "bioentry_id",
+        ));
         assert_eq!(
             fk.to_string(),
             "FOREIGN KEY(dbref.bioentry_id -> bioentry.bioentry_id)"

@@ -93,6 +93,14 @@ pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             }
             Ok(out)
         }
+        LogicalPlan::Offset { input, offset } => {
+            let t = execute(db, input)?;
+            let mut out = t.empty_like();
+            for row in t.rows().iter().skip(*offset) {
+                out.insert(row.clone())?;
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -137,7 +145,7 @@ fn execute_join(
                 if join_type == JoinType::LeftOuter {
                     let mut combined = Vec::with_capacity(lrow.len() + right_arity);
                     combined.extend(lrow.iter().cloned());
-                    combined.extend(std::iter::repeat(Value::Null).take(right_arity));
+                    combined.extend(std::iter::repeat_n(Value::Null, right_arity));
                     out.insert(combined)?;
                 }
             }
@@ -319,7 +327,11 @@ mod tests {
             ]),
         )
         .unwrap();
-        for (id, acc, name) in [(1, "P11111", "kinA"), (2, "P22222", "kinB"), (3, "P33333", "phoC")] {
+        for (id, acc, name) in [
+            (1, "P11111", "kinA"),
+            (2, "P22222", "kinB"),
+            (3, "P33333", "phoC"),
+        ] {
             db.insert(
                 "bioentry",
                 vec![Value::Int(id), Value::text(acc), Value::text(name)],
@@ -454,10 +466,8 @@ mod tests {
         let mut db = Database::new("x");
         db.create_table("t", TableSchema::of(vec![ColumnDef::int("a")]))
             .unwrap();
-        let plan = LogicalPlan::scan("t").aggregate(
-            vec!["a".to_string()],
-            vec![Aggregate::count_star("n")],
-        );
+        let plan = LogicalPlan::scan("t")
+            .aggregate(vec!["a".to_string()], vec![Aggregate::count_star("n")]);
         let result = execute(&db, &plan).unwrap();
         assert_eq!(result.row_count(), 0);
         // Global aggregate over empty input still yields one row.
@@ -480,6 +490,26 @@ mod tests {
         assert_eq!(result.row_count(), 2);
         assert_eq!(result.cell(0, "accession").unwrap(), &Value::text("P33333"));
         assert_eq!(result.cell(1, "accession").unwrap(), &Value::text("P22222"));
+    }
+
+    #[test]
+    fn offset_skips_rows() {
+        let db = db();
+        let sorted = LogicalPlan::scan("bioentry").sort(vec![SortKey {
+            column: "bioentry_id".into(),
+            ascending: true,
+        }]);
+        let result = execute(&db, &sorted.clone().offset(1)).unwrap();
+        assert_eq!(result.row_count(), 2);
+        assert_eq!(result.cell(0, "bioentry_id").unwrap(), &Value::Int(2));
+        // Offset past the end is empty, offset zero is the identity.
+        assert_eq!(
+            execute(&db, &sorted.clone().offset(10))
+                .unwrap()
+                .row_count(),
+            0
+        );
+        assert_eq!(execute(&db, &sorted.offset(0)).unwrap().row_count(), 3);
     }
 
     #[test]

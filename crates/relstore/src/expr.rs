@@ -183,7 +183,9 @@ impl Expr {
                 match v {
                     Value::Null => Ok(Value::Null),
                     Value::Bool(b) => Ok(Value::Bool(!b)),
-                    other => Err(RelError::Eval(format!("NOT applied to non-boolean '{other}'"))),
+                    other => Err(RelError::Eval(format!(
+                        "NOT applied to non-boolean '{other}'"
+                    ))),
                 }
             }
             Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
@@ -212,9 +214,9 @@ impl Expr {
                 .unwrap_or(DataType::Text),
             Expr::Literal(v) => v.data_type().unwrap_or(DataType::Text),
             Expr::Binary { op, left, right } => match op {
-                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => left
-                    .result_type(schema)
-                    .unify(right.result_type(schema)),
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                    left.result_type(schema).unify(right.result_type(schema))
+                }
                 _ => DataType::Boolean,
             },
             Expr::Not(_) | Expr::IsNull(_) | Expr::IsNotNull(_) => DataType::Boolean,
@@ -329,9 +331,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|i| rec(&t[i..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|i| rec(&t[i..], rest)),
             Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
             Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
         }
@@ -417,7 +417,9 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            Expr::IsNotNull(Box::new(Expr::col("x"))).eval(&s, &r).unwrap(),
+            Expr::IsNotNull(Box::new(Expr::col("x")))
+                .eval(&s, &r)
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -473,7 +475,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_collects_all() {
-        let e = Expr::col("a").eq(Expr::col("b")).and(Expr::IsNull(Box::new(Expr::col("c"))));
+        let e = Expr::col("a")
+            .eq(Expr::col("b"))
+            .and(Expr::IsNull(Box::new(Expr::col("c"))));
         let mut cols = e.referenced_columns();
         cols.sort_unstable();
         assert_eq!(cols, vec!["a", "b", "c"]);
@@ -481,7 +485,9 @@ mod tests {
 
     #[test]
     fn display_round_trip_is_readable() {
-        let e = Expr::col("accession").like("P%").and(Expr::col("id").eq(Expr::lit(1i64)));
+        let e = Expr::col("accession")
+            .like("P%")
+            .and(Expr::col("id").eq(Expr::lit(1i64)));
         assert_eq!(e.to_string(), "((accession LIKE 'P%') AND (id = 1))");
     }
 }

@@ -143,6 +143,13 @@ pub enum LogicalPlan {
         /// Maximum number of rows.
         limit: usize,
     },
+    /// Skip the first `offset` rows (SQL `OFFSET`).
+    Offset {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Number of rows to skip.
+        offset: usize,
+    },
 }
 
 impl LogicalPlan {
@@ -225,6 +232,15 @@ impl LogicalPlan {
         }
     }
 
+    /// Skip the first `offset` rows. Combined with [`LogicalPlan::limit`]
+    /// this is the pagination shape: `plan.offset(page * size).limit(size)`.
+    pub fn offset(self, offset: usize) -> LogicalPlan {
+        LogicalPlan::Offset {
+            input: Box::new(self),
+            offset,
+        }
+    }
+
     /// Names of base tables referenced by the plan (depth-first, with
     /// duplicates removed, preserving first occurrence).
     pub fn referenced_tables(&self) -> Vec<&str> {
@@ -242,7 +258,8 @@ impl LogicalPlan {
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Sort { input, .. }
-            | LogicalPlan::Limit { input, .. } => input.collect_tables(out),
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Offset { input, .. } => input.collect_tables(out),
             LogicalPlan::Join { left, right, .. } => {
                 left.collect_tables(out);
                 right.collect_tables(out);
@@ -268,6 +285,22 @@ mod tests {
             }
             _ => panic!("unexpected plan shape"),
         }
+    }
+
+    #[test]
+    fn offset_composes_and_reports_tables() {
+        let plan = LogicalPlan::scan("bioentry").offset(20).limit(10);
+        match &plan {
+            LogicalPlan::Limit { input, .. } => match &**input {
+                LogicalPlan::Offset { offset, input } => {
+                    assert_eq!(*offset, 20);
+                    assert!(matches!(**input, LogicalPlan::Scan { .. }));
+                }
+                _ => panic!("expected offset under limit"),
+            },
+            _ => panic!("unexpected plan shape"),
+        }
+        assert_eq!(plan.referenced_tables(), vec!["bioentry"]);
     }
 
     #[test]

@@ -219,16 +219,16 @@ mod tests {
     fn require_reports_unknown_column() {
         let s = sample();
         assert_eq!(s.require("accession").unwrap(), 1);
-        assert!(matches!(
-            s.require("nope"),
-            Err(RelError::UnknownColumn(_))
-        ));
+        assert!(matches!(s.require("nope"), Err(RelError::UnknownColumn(_))));
     }
 
     #[test]
     fn join_qualifies_clashing_names() {
         let left = sample();
-        let right = TableSchema::of(vec![ColumnDef::int("dbref_id"), ColumnDef::text("accession")]);
+        let right = TableSchema::of(vec![
+            ColumnDef::int("dbref_id"),
+            ColumnDef::text("accession"),
+        ]);
         let joined = left.join(&right, "bioentry", "dbref");
         let names = joined.column_names();
         assert!(names.contains(&"bioentry.accession"));

@@ -86,7 +86,10 @@ fn tokenize(input: &str) -> RelResult<Vec<Token>> {
             continue;
         }
         if c.is_ascii_digit()
-            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit() && starts_value(&out))
+            || (c == '-'
+                && i + 1 < chars.len()
+                && chars[i + 1].is_ascii_digit()
+                && starts_value(&out))
         {
             let mut s = String::new();
             s.push(c);
@@ -143,7 +146,10 @@ fn tokenize(input: &str) -> RelResult<Vec<Token>> {
 fn starts_value(tokens: &[Token]) -> bool {
     !matches!(
         tokens.last(),
-        Some(Token::Ident(_)) | Some(Token::Number(_)) | Some(Token::Str(_)) | Some(Token::Symbol(')'))
+        Some(Token::Ident(_))
+            | Some(Token::Number(_))
+            | Some(Token::Str(_))
+            | Some(Token::Symbol(')'))
     )
 }
 
@@ -284,9 +290,7 @@ impl Parser {
         }
 
         // Build projection / aggregation from the select list.
-        let has_aggregates = items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Aggregate(_)));
+        let has_aggregates = items.iter().any(|i| matches!(i, SelectItem::Aggregate(_)));
         if has_aggregates || !group_by.is_empty() {
             let mut aggregates = Vec::new();
             for item in &items {
@@ -340,23 +344,40 @@ impl Parser {
             plan = plan.sort(keys);
         }
 
-        if self.accept_keyword("LIMIT") {
-            match self.next() {
-                Some(Token::Number(n)) => {
-                    let limit: usize = n
-                        .parse()
-                        .map_err(|_| RelError::Parse(format!("invalid LIMIT '{n}'")))?;
-                    plan = plan.limit(limit);
-                }
-                other => {
-                    return Err(RelError::Parse(format!(
-                        "expected number after LIMIT, found {other:?}"
-                    )))
-                }
+        // LIMIT [n] and OFFSET [m] in either standard order (`LIMIT n OFFSET
+        // m`) or alone. OFFSET applies before LIMIT regardless of the order
+        // the clauses are written in, matching SQL semantics.
+        let mut limit: Option<usize> = None;
+        let mut offset: Option<usize> = None;
+        loop {
+            if limit.is_none() && self.accept_keyword("LIMIT") {
+                limit = Some(self.expect_count("LIMIT")?);
+            } else if offset.is_none() && self.accept_keyword("OFFSET") {
+                offset = Some(self.expect_count("OFFSET")?);
+            } else {
+                break;
             }
+        }
+        if let Some(offset) = offset {
+            plan = plan.offset(offset);
+        }
+        if let Some(limit) = limit {
+            plan = plan.limit(limit);
         }
 
         Ok(plan)
+    }
+
+    /// Parse the non-negative integer operand of LIMIT / OFFSET.
+    fn expect_count(&mut self, clause: &str) -> RelResult<usize> {
+        match self.next() {
+            Some(Token::Number(n)) => n
+                .parse()
+                .map_err(|_| RelError::Parse(format!("invalid {clause} '{n}'"))),
+            other => Err(RelError::Parse(format!(
+                "expected number after {clause}, found {other:?}"
+            ))),
+        }
     }
 
     fn parse_select_list(&mut self) -> RelResult<Vec<SelectItem>> {
@@ -509,9 +530,7 @@ impl Parser {
                 }
             }
             Some(Token::Str(s)) => Ok(Expr::lit(Value::text(s))),
-            other => Err(RelError::Parse(format!(
-                "expected a term, found {other:?}"
-            ))),
+            other => Err(RelError::Parse(format!("expected a term, found {other:?}"))),
         }
     }
 }
@@ -519,12 +538,7 @@ impl Parser {
 /// Decide which side of `a = b` in a JOIN ... ON clause belongs to the left
 /// (already joined) plan and which to the newly joined right table, using the
 /// qualifiers when given.
-fn orient_join_columns(
-    a: &str,
-    b: &str,
-    _left_table: &str,
-    right_table: &str,
-) -> (String, String) {
+fn orient_join_columns(a: &str, b: &str, _left_table: &str, right_table: &str) -> (String, String) {
     let belongs_right = |col: &str| {
         col.split('.')
             .next()
@@ -573,7 +587,11 @@ mod tests {
             ]),
         )
         .unwrap();
-        for (id, acc, name) in [(1, "P11111", "kinA"), (2, "P22222", "kinB"), (3, "Q33333", "phoC")] {
+        for (id, acc, name) in [
+            (1, "P11111", "kinA"),
+            (2, "P22222", "kinB"),
+            (3, "Q33333", "phoC"),
+        ] {
             db.insert(
                 "bioentry",
                 vec![Value::Int(id), Value::text(acc), Value::text(name)],
@@ -673,10 +691,42 @@ mod tests {
     }
 
     #[test]
+    fn offset_paginates_after_order_by() {
+        let db = db();
+        let plan =
+            parse("SELECT accession FROM bioentry ORDER BY accession LIMIT 1 OFFSET 1").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.cell(0, "accession").unwrap(), &Value::text("P22222"));
+
+        // OFFSET without LIMIT, and OFFSET written before LIMIT, both work.
+        let plan = parse("SELECT accession FROM bioentry ORDER BY accession OFFSET 2").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.cell(0, "accession").unwrap(), &Value::text("Q33333"));
+        let plan =
+            parse("SELECT accession FROM bioentry ORDER BY accession OFFSET 1 LIMIT 1").unwrap();
+        let r = execute(&db, &plan).unwrap();
+        assert_eq!(r.cell(0, "accession").unwrap(), &Value::text("P22222"));
+
+        // Offset past the end yields no rows.
+        let plan = parse("SELECT * FROM bioentry OFFSET 99").unwrap();
+        assert_eq!(execute(&db, &plan).unwrap().row_count(), 0);
+
+        // Malformed operands are reported.
+        assert!(parse("SELECT * FROM t OFFSET abc").is_err());
+        assert!(parse("SELECT * FROM t LIMIT 1 OFFSET").is_err());
+        assert!(parse("SELECT * FROM t OFFSET 1 OFFSET 2").is_err());
+    }
+
+    #[test]
     fn is_null_and_is_not_null() {
         let mut db = db();
-        db.insert("bioentry", vec![Value::Int(4), Value::text("X1"), Value::Null])
-            .unwrap();
+        db.insert(
+            "bioentry",
+            vec![Value::Int(4), Value::text("X1"), Value::Null],
+        )
+        .unwrap();
         let plan = parse("SELECT * FROM bioentry WHERE name IS NULL").unwrap();
         assert_eq!(execute(&db, &plan).unwrap().row_count(), 1);
         let plan = parse("SELECT * FROM bioentry WHERE name IS NOT NULL").unwrap();
@@ -715,8 +765,10 @@ mod tests {
                 TableSchema::of(vec![ColumnDef::int("v"), ColumnDef::float("s")]),
             )
             .unwrap();
-            db.insert("m", vec![Value::Int(-5), Value::Float(0.25)]).unwrap();
-            db.insert("m", vec![Value::Int(5), Value::Float(0.75)]).unwrap();
+            db.insert("m", vec![Value::Int(-5), Value::Float(0.25)])
+                .unwrap();
+            db.insert("m", vec![Value::Int(5), Value::Float(0.75)])
+                .unwrap();
             db
         };
         let plan = parse("SELECT * FROM m WHERE v < -1").unwrap();

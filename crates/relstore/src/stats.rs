@@ -106,7 +106,8 @@ impl ColumnStats {
     /// (long values over a nucleotide or amino-acid alphabet)?
     pub fn looks_like_sequence(&self) -> bool {
         self.avg_len >= 30.0
-            && (self.char_profile.nucleotide_like >= 0.9 || self.char_profile.amino_acid_like >= 0.9)
+            && (self.char_profile.nucleotide_like >= 0.9
+                || self.char_profile.amino_acid_like >= 0.9)
     }
 
     /// Heuristic: does this column look like free text (descriptions,
@@ -254,9 +255,24 @@ mod tests {
         ]);
         let mut t = Table::new("protein", schema);
         let rows = vec![
-            (1, "P12345", "serine kinase involved in signalling", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"),
-            (2, "P67890", "membrane transporter", "MSDNNNAKVVLIGAGGIGCELLKNLVLTGFSHI"),
-            (3, "Q00001", "unknown protein", "MAAAKKVVLIGAGGIGCELLKQQQSFVKSHFSR"),
+            (
+                1,
+                "P12345",
+                "serine kinase involved in signalling",
+                "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ",
+            ),
+            (
+                2,
+                "P67890",
+                "membrane transporter",
+                "MSDNNNAKVVLIGAGGIGCELLKNLVLTGFSHI",
+            ),
+            (
+                3,
+                "Q00001",
+                "unknown protein",
+                "MAAAKKVVLIGAGGIGCELLKQQQSFVKSHFSR",
+            ),
         ];
         for (id, acc, desc, seq) in rows {
             t.insert(vec![
@@ -267,8 +283,13 @@ mod tests {
             ])
             .unwrap();
         }
-        t.insert(vec![Value::Int(4), Value::text("Q99999"), Value::Null, Value::Null])
-            .unwrap();
+        t.insert(vec![
+            Value::Int(4),
+            Value::text("Q99999"),
+            Value::Null,
+            Value::Null,
+        ])
+        .unwrap();
         t
     }
 
@@ -337,8 +358,12 @@ mod tests {
         let schema = TableSchema::of(vec![ColumnDef::text("kind")]);
         let mut t = Table::new("t", schema);
         for i in 0..100 {
-            t.insert(vec![Value::text(if i % 2 == 0 { "gene" } else { "protein" })])
-                .unwrap();
+            t.insert(vec![Value::text(if i % 2 == 0 {
+                "gene"
+            } else {
+                "protein"
+            })])
+            .unwrap();
         }
         let s = profile_column(&t, "kind", 5).unwrap();
         assert!(s.selectivity() < 0.05);

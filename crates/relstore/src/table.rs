@@ -81,10 +81,7 @@ impl Table {
             )));
         }
         for (idx, value) in row.iter().enumerate() {
-            let col = self
-                .schema
-                .column_at(idx)
-                .expect("index within arity");
+            let col = self.schema.column_at(idx).expect("index within arity");
             if let Some(vt) = value.data_type() {
                 if !col.data_type.accepts(vt) {
                     return Err(RelError::SchemaMismatch(format!(
@@ -206,10 +203,18 @@ mod tests {
             ColumnDef::text("description"),
         ]);
         let mut t = Table::new("bioentry", schema);
-        t.insert(vec![Value::Int(1), Value::text("P12345"), Value::text("kinase")])
-            .unwrap();
-        t.insert(vec![Value::Int(2), Value::text("P67890"), Value::text("phosphatase")])
-            .unwrap();
+        t.insert(vec![
+            Value::Int(1),
+            Value::text("P12345"),
+            Value::text("kinase"),
+        ])
+        .unwrap();
+        t.insert(vec![
+            Value::Int(2),
+            Value::text("P67890"),
+            Value::text("phosphatase"),
+        ])
+        .unwrap();
         t
     }
 
@@ -286,7 +291,10 @@ mod tests {
         let t = bioentry();
         let idx = t.find_first("accession", &Value::text("P67890")).unwrap();
         assert_eq!(idx, Some(1));
-        assert_eq!(t.cell(1, "description").unwrap(), &Value::text("phosphatase"));
+        assert_eq!(
+            t.cell(1, "description").unwrap(),
+            &Value::text("phosphatase")
+        );
         assert!(t.cell(9, "description").is_err());
         assert!(t.find_first("nope", &Value::Null).is_err());
     }

@@ -35,9 +35,7 @@ impl DataType {
     /// The most specific type that accepts both inputs; used by schema
     /// inference in the importers.
     pub fn unify(self, other: DataType) -> DataType {
-        if self == other {
-            self
-        } else if self.accepts(other) {
+        if self == other || self.accepts(other) {
             self
         } else if other.accepts(self) {
             other
@@ -106,22 +104,13 @@ mod tests {
 
     #[test]
     fn unify_numeric_pairs_to_float() {
-        assert_eq!(
-            DataType::Integer.unify(DataType::Float),
-            DataType::Float
-        );
-        assert_eq!(
-            DataType::Float.unify(DataType::Integer),
-            DataType::Float
-        );
+        assert_eq!(DataType::Integer.unify(DataType::Float), DataType::Float);
+        assert_eq!(DataType::Float.unify(DataType::Integer), DataType::Float);
     }
 
     #[test]
     fn unify_disparate_falls_back_to_text() {
-        assert_eq!(
-            DataType::Boolean.unify(DataType::Integer),
-            DataType::Text
-        );
+        assert_eq!(DataType::Boolean.unify(DataType::Integer), DataType::Text);
     }
 
     #[test]

@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first_text_last() {
-        let mut vals = vec![
+        let mut vals = [
             Value::text("abc"),
             Value::Int(1),
             Value::Null,

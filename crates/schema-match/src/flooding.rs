@@ -75,9 +75,13 @@ pub fn flood(
                     }
                 }
             }
-            let propagated = if count > 0 { propagated / count as f64 } else { 0.0 };
-            let value = (1.0 - config.propagation_weight) * base
-                + config.propagation_weight * propagated;
+            let propagated = if count > 0 {
+                propagated / count as f64
+            } else {
+                0.0
+            };
+            let value =
+                (1.0 - config.propagation_weight) * base + config.propagation_weight * propagated;
             next.insert((l.clone(), r.clone()), value.min(1.0));
         }
         sim = next;
@@ -88,7 +92,11 @@ pub fn flood(
         .filter(|(_, s)| *s >= config.threshold)
         .map(|((left, right), score)| FloodedMatch { left, right, score })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -105,7 +113,10 @@ mod tests {
         s
     }
 
-    fn edges() -> (HashMap<AttributeId, Vec<AttributeId>>, HashMap<AttributeId, Vec<AttributeId>>) {
+    fn edges() -> (
+        HashMap<AttributeId, Vec<AttributeId>>,
+        HashMap<AttributeId, Vec<AttributeId>>,
+    ) {
         let mut left = HashMap::new();
         left.insert("a.acc".to_string(), vec!["a.name".to_string()]);
         left.insert("a.name".to_string(), vec!["a.acc".to_string()]);

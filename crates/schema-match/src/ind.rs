@@ -154,8 +154,13 @@ mod tests {
             )
             .unwrap();
         }
-        for (id, name) in [(1, "Homo sapiens"), (2, "Mus musculus"), (3, "Rattus norvegicus")] {
-            db.insert("taxon", vec![Value::Int(id), Value::text(name)]).unwrap();
+        for (id, name) in [
+            (1, "Homo sapiens"),
+            (2, "Mus musculus"),
+            (3, "Rattus norvegicus"),
+        ] {
+            db.insert("taxon", vec![Value::Int(id), Value::text(name)])
+                .unwrap();
         }
         db
     }
@@ -201,11 +206,8 @@ mod tests {
     #[test]
     fn equal_sets_yield_one_to_one() {
         let mut db = Database::new("x");
-        db.create_table(
-            "main",
-            TableSchema::of(vec![ColumnDef::int("id")]),
-        )
-        .unwrap();
+        db.create_table("main", TableSchema::of(vec![ColumnDef::int("id")]))
+            .unwrap();
         db.create_table(
             "detail",
             TableSchema::of(vec![ColumnDef::int("detail_id"), ColumnDef::int("main_id")]),
@@ -213,7 +215,8 @@ mod tests {
         .unwrap();
         for i in 1..=3i64 {
             db.insert("main", vec![Value::Int(i)]).unwrap();
-            db.insert("detail", vec![Value::Int(i), Value::Int(i)]).unwrap();
+            db.insert("detail", vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
         }
         let uniques = vec![UniqueAttribute {
             table: "main".into(),
@@ -240,8 +243,9 @@ mod tests {
     fn self_inclusion_is_not_reported() {
         let db = biosql_like();
         let inds = mine_inclusion_dependencies(&db, &uniques()).unwrap();
-        assert!(inds.iter().all(|d| !(d.source_table == d.target_table
-            && d.source_column == d.target_column)));
+        assert!(inds
+            .iter()
+            .all(|d| !(d.source_table == d.target_table && d.source_column == d.target_column)));
     }
 
     #[test]
@@ -260,13 +264,18 @@ mod tests {
         // value sets for IND purposes (strict equality), which protects the
         // step from spurious joins between unrelated code lists.
         let mut db = Database::new("x");
-        db.create_table("a", TableSchema::of(vec![ColumnDef::int("k")])).unwrap();
-        db.create_table("b", TableSchema::of(vec![ColumnDef::text("k_text")])).unwrap();
+        db.create_table("a", TableSchema::of(vec![ColumnDef::int("k")]))
+            .unwrap();
+        db.create_table("b", TableSchema::of(vec![ColumnDef::text("k_text")]))
+            .unwrap();
         for i in 1..=3i64 {
             db.insert("a", vec![Value::Int(i)]).unwrap();
             db.insert("b", vec![Value::text(i.to_string())]).unwrap();
         }
-        let uniques = vec![UniqueAttribute { table: "a".into(), column: "k".into() }];
+        let uniques = vec![UniqueAttribute {
+            table: "a".into(),
+            column: "k".into(),
+        }];
         let inds = mine_inclusion_dependencies(&db, &uniques).unwrap();
         assert!(inds.iter().all(|d| d.source_table != "b"));
     }

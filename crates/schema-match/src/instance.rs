@@ -36,8 +36,7 @@ impl AttributeMatch {
         if self.overlap_left == 0.0 || self.overlap_right == 0.0 {
             0.0
         } else {
-            2.0 * self.overlap_left * self.overlap_right
-                / (self.overlap_left + self.overlap_right)
+            2.0 * self.overlap_left * self.overlap_right / (self.overlap_left + self.overlap_right)
         }
     }
 }
@@ -155,8 +154,8 @@ impl PatternProfile {
 
     /// Similarity of two profiles in `[0, 1]`.
     pub fn similarity(&self, other: &PatternProfile) -> f64 {
-        let len_sim = 1.0
-            - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
+        let len_sim =
+            1.0 - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
         let digit_sim = 1.0 - (self.digit_fraction - other.digit_fraction).abs();
         let letter_sim = 1.0 - (self.letter_fraction - other.letter_fraction).abs();
         let other_sim = 1.0 - (self.other_fraction - other.other_fraction).abs();
@@ -175,7 +174,8 @@ mod tests {
             TableSchema::of(vec![ColumnDef::int("entry_id"), ColumnDef::text("ac")]),
         );
         for (i, acc) in ["P10000", "P10001", "P10002", "P10003"].iter().enumerate() {
-            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)]).unwrap();
+            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)])
+                .unwrap();
         }
         t
     }
@@ -189,7 +189,8 @@ mod tests {
             ]),
         );
         for (i, acc) in ["P10000", "P10002", "Q99999"].iter().enumerate() {
-            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)]).unwrap();
+            t.insert(vec![Value::Int(i as i64 + 1), Value::text(*acc)])
+                .unwrap();
         }
         t
     }
@@ -231,10 +232,7 @@ mod tests {
 
     #[test]
     fn disjoint_columns_are_not_reported() {
-        let mut other = Table::new(
-            "terms",
-            TableSchema::of(vec![ColumnDef::text("term_id")]),
-        );
+        let mut other = Table::new("terms", TableSchema::of(vec![ColumnDef::text("term_id")]));
         other.insert(vec![Value::text("GO:0000001")]).unwrap();
         let matches = match_attributes(&other, &protein_table(), 0.0).unwrap();
         assert!(matches.is_empty());
@@ -254,9 +252,7 @@ mod tests {
         let profile_text = PatternProfile::of(&text_table, "description").unwrap();
         let xr = xref_table();
         let profile_xref_acc = PatternProfile::of(&xr, "db_accession").unwrap();
-        assert!(
-            profile_acc.similarity(&profile_xref_acc) > profile_acc.similarity(&profile_text)
-        );
+        assert!(profile_acc.similarity(&profile_xref_acc) > profile_acc.similarity(&profile_text));
         assert!(profile_acc.similarity(&profile_acc) > 0.999);
     }
 }

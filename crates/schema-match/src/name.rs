@@ -62,7 +62,11 @@ pub fn match_names(left: &[String], right: &[String], threshold: f64) -> Vec<Nam
             }
         }
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -88,7 +92,10 @@ mod tests {
 
     #[test]
     fn match_names_filters_and_sorts() {
-        let left = vec!["bioentry.accession".to_string(), "bioentry.taxon_id".to_string()];
+        let left = vec![
+            "bioentry.accession".to_string(),
+            "bioentry.taxon_id".to_string(),
+        ];
         let right = vec![
             "dbxrefs.db_accession".to_string(),
             "taxa.taxid".to_string(),

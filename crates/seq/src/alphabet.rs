@@ -104,7 +104,10 @@ mod tests {
     fn detection_prefers_specific_alphabets() {
         assert_eq!(Alphabet::detect("ACGTACGT"), Some(Alphabet::Dna));
         assert_eq!(Alphabet::detect("ACGUACGU"), Some(Alphabet::Rna));
-        assert_eq!(Alphabet::detect("MKTAYIAKQRQISFVKSHFSRQ"), Some(Alphabet::Protein));
+        assert_eq!(
+            Alphabet::detect("MKTAYIAKQRQISFVKSHFSRQ"),
+            Some(Alphabet::Protein)
+        );
         assert_eq!(Alphabet::detect("hello world"), None);
         assert_eq!(Alphabet::detect(""), None);
     }
@@ -125,7 +128,10 @@ mod tests {
     fn reverse_complement_roundtrip() {
         assert_eq!(reverse_complement("ACGT"), "ACGT");
         assert_eq!(reverse_complement("AACC"), "GGTT");
-        assert_eq!(reverse_complement(reverse_complement("ACGGTTAC").as_str()), "ACGGTTAC");
+        assert_eq!(
+            reverse_complement(reverse_complement("ACGGTTAC").as_str()),
+            "ACGGTTAC"
+        );
         assert_eq!(reverse_complement("ACX"), "NGT");
     }
 }

@@ -244,7 +244,11 @@ mod tests {
     fn exact_search_is_a_superset_of_seeded_search() {
         let idx = dna_index();
         let query = "ACGTACGTACGTACGTACGT";
-        let seeded: Vec<String> = idx.search(query).into_iter().map(|h| h.subject_id).collect();
+        let seeded: Vec<String> = idx
+            .search(query)
+            .into_iter()
+            .map(|h| h.subject_id)
+            .collect();
         let exact: Vec<String> = idx
             .search_exact(query)
             .into_iter()

@@ -62,7 +62,10 @@ impl KmerIndex {
         if bytes.len() >= self.k {
             for offset in 0..=bytes.len() - self.k {
                 let kmer = sequence[offset..offset + self.k].to_string();
-                self.postings.entry(kmer).or_default().push((ordinal, offset));
+                self.postings
+                    .entry(kmer)
+                    .or_default()
+                    .push((ordinal, offset));
             }
         }
         ordinal

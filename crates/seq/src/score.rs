@@ -73,16 +73,20 @@ fn blosum_like(a: u8, b: u8) -> i32 {
         return 5;
     }
     const GROUPS: &[&[u8]] = &[
-        b"ILMV",  // aliphatic
-        b"FWY",   // aromatic
-        b"KRH",   // basic
-        b"DE",    // acidic
-        b"STNQ",  // polar
-        b"AG",    // small
-        b"C",     // cysteine
-        b"P",     // proline
+        b"ILMV", // aliphatic
+        b"FWY",  // aromatic
+        b"KRH",  // basic
+        b"DE",   // acidic
+        b"STNQ", // polar
+        b"AG",   // small
+        b"C",    // cysteine
+        b"P",    // proline
     ];
-    let group_of = |x: u8| GROUPS.iter().position(|g| g.contains(&x.to_ascii_uppercase()));
+    let group_of = |x: u8| {
+        GROUPS
+            .iter()
+            .position(|g| g.contains(&x.to_ascii_uppercase()))
+    };
     match (group_of(a), group_of(b)) {
         (Some(ga), Some(gb)) if ga == gb => 1,
         _ => -2,

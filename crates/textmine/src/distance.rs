@@ -203,6 +203,9 @@ mod tests {
         assert_eq!(longest_common_substring("Uniprot:P11140", "P11140"), 6);
         assert_eq!(longest_common_substring("abc", "xyz"), 0);
         assert_eq!(longest_common_substring("", "xyz"), 0);
-        assert_eq!(longest_common_substring("ENSG00000042753", "ENSG00000042753"), 15);
+        assert_eq!(
+            longest_common_substring("ENSG00000042753", "ENSG00000042753"),
+            15
+        );
     }
 }

@@ -67,8 +67,16 @@ impl SearchFilter {
     }
 
     fn matches(&self, doc: &Document) -> bool {
-        (self.sources.is_empty() || self.sources.iter().any(|s| s.eq_ignore_ascii_case(&doc.source)))
-            && (self.fields.is_empty() || self.fields.iter().any(|f| f.eq_ignore_ascii_case(&doc.field)))
+        (self.sources.is_empty()
+            || self
+                .sources
+                .iter()
+                .any(|s| s.eq_ignore_ascii_case(&doc.source)))
+            && (self.fields.is_empty()
+                || self
+                    .fields
+                    .iter()
+                    .any(|f| f.eq_ignore_ascii_case(&doc.field)))
     }
 }
 
@@ -173,10 +181,30 @@ mod tests {
 
     fn index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.add_document("protein_kb/1", "protein_kb", "description", "serine threonine kinase in cell signalling");
-        idx.add_document("protein_kb/2", "protein_kb", "description", "glucose membrane transporter");
-        idx.add_document("structure_db/1", "structure_db", "title", "crystal structure of a serine kinase");
-        idx.add_document("gene_db/1", "gene_db", "summary", "gene encoding a ribosomal assembly factor");
+        idx.add_document(
+            "protein_kb/1",
+            "protein_kb",
+            "description",
+            "serine threonine kinase in cell signalling",
+        );
+        idx.add_document(
+            "protein_kb/2",
+            "protein_kb",
+            "description",
+            "glucose membrane transporter",
+        );
+        idx.add_document(
+            "structure_db/1",
+            "structure_db",
+            "title",
+            "crystal structure of a serine kinase",
+        );
+        idx.add_document(
+            "gene_db/1",
+            "gene_db",
+            "summary",
+            "gene encoding a ribosomal assembly factor",
+        );
         idx
     }
 
@@ -192,7 +220,9 @@ mod tests {
         let idx = index();
         let hits = idx.search("serine kinase", 10, &SearchFilter::any());
         assert!(hits.len() >= 2);
-        assert!(hits[0].doc_id.contains("protein_kb/1") || hits[0].doc_id.contains("structure_db/1"));
+        assert!(
+            hits[0].doc_id.contains("protein_kb/1") || hits[0].doc_id.contains("structure_db/1")
+        );
         assert!(hits.iter().all(|h| h.score > 0.0));
         // The transporter document should not match at all.
         assert!(hits.iter().all(|h| h.doc_id != "protein_kb/2"));

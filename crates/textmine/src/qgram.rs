@@ -12,9 +12,9 @@ pub fn qgram_profile(text: &str, q: usize) -> HashMap<String, usize> {
         return profile;
     }
     let mut padded: Vec<char> = Vec::with_capacity(text.chars().count() + 2 * (q - 1));
-    padded.extend(std::iter::repeat('#').take(q - 1));
+    padded.extend(std::iter::repeat_n('#', q - 1));
     padded.extend(text.chars());
-    padded.extend(std::iter::repeat('$').take(q - 1));
+    padded.extend(std::iter::repeat_n('$', q - 1));
     if padded.len() < q {
         return profile;
     }

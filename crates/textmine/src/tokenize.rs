@@ -36,8 +36,30 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// Common English and annotation-boilerplate stop words that carry no linking
 /// signal. Kept deliberately small; life-science descriptions are terse.
 pub const STOP_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "in", "and", "or", "to", "for", "with", "by", "on", "is", "are",
-    "this", "that", "from", "as", "at", "be", "its", "protein", "putative", "predicted",
+    "the",
+    "a",
+    "an",
+    "of",
+    "in",
+    "and",
+    "or",
+    "to",
+    "for",
+    "with",
+    "by",
+    "on",
+    "is",
+    "are",
+    "this",
+    "that",
+    "from",
+    "as",
+    "at",
+    "be",
+    "its",
+    "protein",
+    "putative",
+    "predicted",
     "hypothetical",
 ];
 

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example cross_database_query`
 
-use aladin::core::access::{BrowseEngine, QueryEngine};
-use aladin::core::{Aladin, AladinConfig};
+use aladin::core::access::Warehouse;
+use aladin::core::AladinConfig;
 use aladin::datagen::{Corpus, CorpusConfig};
 
 fn main() {
@@ -15,54 +15,65 @@ fn main() {
     config.gene_fraction = 0.9;
     config.structure_fraction = 0.5;
     let corpus = Corpus::generate(&config);
-    let mut aladin = Aladin::new(AladinConfig::default());
+    let mut warehouse = Warehouse::new(AladinConfig::default());
     for dump in &corpus.sources {
-        aladin
+        warehouse
             .add_source_files(&dump.name, dump.format, &dump.files)
             .expect("integration succeeds");
     }
-    let query = QueryEngine::new(&aladin);
-    let browse = BrowseEngine::new(&aladin);
 
     // Step 1: select genes of a certain species on a certain chromosome with
-    // plain SQL over the imported gene schema.
-    let genes = query
+    // plain SQL over the imported gene schema (LIMIT/OFFSET paginate).
+    let genes = warehouse
         .sql(
             "genedb",
             "SELECT id, symbol, chromosome FROM genes_gene WHERE chromosome = '5' OR chromosome = '17' LIMIT 40",
         )
         .expect("gene selection");
-    println!("selected {} genes on chromosomes 5 and 17", genes.row_count());
+    println!(
+        "selected {} genes on chromosomes 5 and 17",
+        genes.row_count()
+    );
 
     // Step 2: follow the discovered links gene -> protein -> structure /
     // functional annotation, keeping only genes whose protein has a known
     // function (an ontology-term link) — the shape of the paper's example.
+    // Each hop is one composed query over the cached link adjacency.
     let mut answers = Vec::new();
     for row in genes.rows() {
         let gene_acc = row[0].render();
-        let gene = match browse.find_object("genedb", &gene_acc) {
-            Ok(g) => g,
-            Err(_) => continue,
-        };
-        let gene_view = browse.view(&gene).expect("gene view");
-        for (protein, _, _) in gene_view.linked.iter().filter(|(o, _, _)| o.source == "protkb") {
-            let protein_view = browse.view(protein).expect("protein view");
-            let has_function = protein_view
-                .linked
-                .iter()
-                .any(|(o, _, _)| o.source == "ontodb");
-            let structure = protein_view
-                .linked
-                .iter()
-                .find(|(o, _, _)| o.source == "structdb");
-            if has_function {
-                answers.push((
-                    gene_acc.clone(),
-                    row[1].render(),
-                    protein.accession.clone(),
-                    structure.map(|(s, _, _)| s.accession.clone()),
-                ));
+        let proteins = warehouse
+            .accession("genedb", &gene_acc)
+            .follow_links(None, 1)
+            .from_source("protkb")
+            .fetch()
+            .unwrap_or_default();
+        for protein in proteins {
+            let function_known = warehouse
+                .accession("protkb", &protein.object.accession)
+                .follow_links(None, 1)
+                .from_source("ontodb")
+                .count()
+                .unwrap_or(0)
+                > 0;
+            if !function_known {
+                continue;
             }
+            let structure = warehouse
+                .accession("protkb", &protein.object.accession)
+                .follow_links(None, 1)
+                .from_source("structdb")
+                .limit(1)
+                .fetch()
+                .unwrap_or_default()
+                .into_iter()
+                .next();
+            answers.push((
+                gene_acc.clone(),
+                row[1].render(),
+                protein.object.accession.clone(),
+                structure.map(|s| s.object.accession),
+            ));
         }
     }
     println!(
@@ -78,7 +89,7 @@ fn main() {
 
     // Step 3: the path-count ranking the paper proposes: proteins linked to
     // structures, ordered by the number of independent link paths.
-    let ranked = query
+    let ranked = warehouse
         .cross_source_objects("protkb", "structdb")
         .expect("cross-source query");
     println!("\ntop protein-structure connections by number of independent paths:");

@@ -7,30 +7,38 @@
 //!
 //! Run with: `cargo run --release --example microarray_browsing`
 
-use aladin::core::access::{BrowseEngine, SearchEngine};
-use aladin::core::{Aladin, AladinConfig};
+use aladin::core::access::Warehouse;
+use aladin::core::AladinConfig;
 use aladin::datagen::{Corpus, CorpusConfig};
 
 fn main() {
     let mut config = CorpusConfig::medium(11);
     config.gene_fraction = 0.9;
     let corpus = Corpus::generate(&config);
-    let mut aladin = Aladin::new(AladinConfig::default());
+    let mut warehouse = Warehouse::new(AladinConfig::default());
     for dump in &corpus.sources {
-        aladin
+        warehouse
             .add_source_files(&dump.name, dump.format, &dump.files)
             .expect("integration succeeds");
     }
 
     // The "hit list" of a microarray experiment: 60 genes.
-    let genes = aladin.objects_of("genedb").expect("genes integrated");
-    let hit_list: Vec<_> = genes.iter().take(60).collect();
-    println!("browsing {} genes from the experiment hit list\n", hit_list.len());
+    let genes = warehouse
+        .scan()
+        .from_source("genedb")
+        .limit(60)
+        .fetch()
+        .expect("genes integrated");
+    println!(
+        "browsing {} genes from the experiment hit list\n",
+        genes.len()
+    );
 
-    let browse = BrowseEngine::new(&aladin);
+    // Every view is served from the warehouse's cached link adjacency — the
+    // 60 views below scan the link set once in total, not once per gene.
     let mut total_links = 0usize;
-    for (i, gene) in hit_list.iter().enumerate() {
-        let view = browse.view(gene).expect("gene view");
+    for (i, gene) in genes.iter().enumerate() {
+        let view = warehouse.view(&gene.object).expect("gene view");
         total_links += view.linked.len();
         if i < 5 {
             let targets: Vec<String> = view
@@ -39,7 +47,12 @@ fn main() {
                 .take(4)
                 .map(|(o, kind, _)| format!("{o} [{kind}]"))
                 .collect();
-            println!("{gene}: {} links, e.g. {}", view.linked.len(), targets.join(", "));
+            println!(
+                "{}: {} links, e.g. {}",
+                gene.object,
+                view.linked.len(),
+                targets.join(", ")
+            );
         }
     }
     println!(
@@ -48,13 +61,23 @@ fn main() {
     );
 
     // Google-style retrieval across all integrated sources.
-    let search = SearchEngine::build(&aladin).expect("search index");
     println!("\nranked search for 'kinase cell cycle regulation':");
-    for hit in search.search("kinase cell cycle regulation", 5) {
-        println!("  {:30} score {:.3} (field {})", hit.object.to_string(), hit.score, hit.field);
+    for hit in warehouse
+        .search_hits("kinase cell cycle regulation", 5)
+        .expect("search index")
+    {
+        println!(
+            "  {:30} score {:.3} (field {})",
+            hit.object.to_string(),
+            hit.score,
+            hit.field
+        );
     }
     println!("\nsearch restricted to the ontology source:");
-    for hit in search.search_source("cell cycle regulation", "ontodb", 3) {
+    for hit in warehouse
+        .search_hits_in_source("cell cycle regulation", "ontodb", 3)
+        .expect("search index")
+    {
         println!("  {:30} score {:.3}", hit.object.to_string(), hit.score);
     }
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example protein_structure_annotation`
 
-use aladin::core::access::{BrowseEngine, QueryEngine};
-use aladin::core::{Aladin, AladinConfig};
+use aladin::core::access::Warehouse;
+use aladin::core::AladinConfig;
 use aladin::datagen::{Corpus, CorpusConfig};
 
 fn main() {
@@ -17,9 +17,9 @@ fn main() {
     config.missing_xref_rate = 0.25;
     let corpus = Corpus::generate(&config);
 
-    let mut aladin = Aladin::new(AladinConfig::default());
+    let mut warehouse = Warehouse::new(AladinConfig::default());
     for dump in &corpus.sources {
-        aladin
+        warehouse
             .add_source_files(&dump.name, dump.format, &dump.files)
             .expect("integration succeeds");
     }
@@ -27,10 +27,16 @@ fn main() {
     // The discovered structure of the protein knowledgebase mirrors the
     // BioSQL discussion of the paper: the entry table is primary, the
     // multi-valued annotation tables hang off it.
-    let protkb = aladin.metadata().structure("protkb").expect("protkb integrated");
+    let protkb = warehouse
+        .metadata()
+        .structure("protkb")
+        .expect("protkb integrated");
     println!("protkb primary relation(s):");
     for p in &protkb.primary_relations {
-        println!("  {} (accession column '{}', in-degree {})", p.table, p.accession_column, p.in_degree);
+        println!(
+            "  {} (accession column '{}', in-degree {})",
+            p.table, p.accession_column, p.in_degree
+        );
     }
     println!("protkb secondary relations:");
     for s in &protkb.secondary_relations {
@@ -39,43 +45,51 @@ fn main() {
 
     // Annotate every structure: follow the discovered links from structures
     // back to proteins, and from proteins onwards to genes and ontology terms.
-    let browse = BrowseEngine::new(&aladin);
-    let structures = aladin.objects_of("structdb").expect("structures exist");
     let mut annotated = 0usize;
     let mut with_gene = 0usize;
-    for structure in structures.iter().take(10) {
-        let view = browse.view(structure).expect("structure view");
-        let proteins: Vec<_> = view
-            .linked
-            .iter()
-            .filter(|(o, _, _)| o.source == "protkb")
-            .collect();
-        if proteins.is_empty() {
+    for structure in warehouse
+        .scan()
+        .from_source("structdb")
+        .limit(10)
+        .fetch()
+        .expect("structures exist")
+    {
+        let proteins = warehouse
+            .accession("structdb", &structure.object.accession)
+            .follow_links(None, 1)
+            .from_source("protkb")
+            .join_annotation("protkb_kw")
+            .fetch()
+            .expect("link traversal");
+        let Some(protein) = proteins.first() else {
             continue;
-        }
+        };
         annotated += 1;
-        let (protein, _, _) = proteins[0];
-        let protein_view = browse.view(protein).expect("protein view");
-        let gene = protein_view
-            .linked
-            .iter()
-            .find(|(o, _, _)| o.source == "genedb");
+        let gene = warehouse
+            .accession("protkb", &protein.object.accession)
+            .follow_links(None, 1)
+            .from_source("genedb")
+            .limit(1)
+            .fetch()
+            .expect("link traversal")
+            .into_iter()
+            .next();
         if gene.is_some() {
             with_gene += 1;
         }
         println!(
             "structure {:8} -> protein {:10} -> gene {:18} (annotation rows: {})",
-            structure.accession,
-            protein.accession,
-            gene.map(|(g, _, _)| g.accession.clone()).unwrap_or_else(|| "-".into()),
-            protein_view.annotation.len()
+            structure.object.accession,
+            protein.object.accession,
+            gene.map(|g| g.object.accession)
+                .unwrap_or_else(|| "-".into()),
+            protein.annotation.len()
         );
     }
     println!("\n{annotated} of the first 10 structures annotated with a protein, {with_gene} also with a gene");
 
     // A COLUMBA-style iterative filter query on the imported schema.
-    let query = QueryEngine::new(&aladin);
-    let result = query
+    let result = warehouse
         .sql(
             "structdb",
             "SELECT structure_id, resolution, method FROM structures WHERE resolution < 2.0 ORDER BY resolution LIMIT 5",

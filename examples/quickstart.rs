@@ -1,9 +1,10 @@
 //! Quickstart: generate a small synthetic life-science corpus, integrate it
-//! almost hands-off, and look at what ALADIN discovered.
+//! almost hands-off, and access it through the unified `Warehouse` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use aladin::core::{Aladin, AladinConfig};
+use aladin::core::access::Warehouse;
+use aladin::core::AladinConfig;
 use aladin::datagen::{Corpus, CorpusConfig};
 
 fn main() {
@@ -19,9 +20,11 @@ fn main() {
 
     // 2. Integrate every source. The only human input is the choice of parser
     //    (flat file / XML / tabular / FASTA); everything else is discovered.
-    let mut aladin = Aladin::new(AladinConfig::default());
+    //    The warehouse's cached access structures (search index, link
+    //    adjacency) invalidate themselves on every addition.
+    let mut warehouse = Warehouse::new(AladinConfig::default());
     for dump in &corpus.sources {
-        let report = aladin
+        let report = warehouse
             .add_source_files(&dump.name, dump.format, &dump.files)
             .expect("integration succeeds");
         println!(
@@ -41,17 +44,16 @@ fn main() {
     // 3. The warehouse now holds objects and links.
     println!(
         "\nwarehouse: {} sources, {} object links, {} duplicate links",
-        aladin.source_count(),
-        aladin.link_count(),
-        aladin.duplicate_count()
+        warehouse.source_count(),
+        warehouse.aladin().link_count(),
+        warehouse.aladin().duplicate_count()
     );
 
-    // 4. Inspect one object and its neighbourhood.
-    let browse = aladin::core::access::BrowseEngine::new(&aladin);
-    let object = browse
+    // 4. Browse one object and its neighbourhood.
+    let object = warehouse
         .find_object("protkb", "P10000")
         .expect("the first protein exists");
-    let view = browse.view(&object).expect("object view");
+    let view = warehouse.view(&object).expect("object view");
     println!("\nobject {object}");
     for (column, value) in view.attributes.iter().take(4) {
         println!("  {column}: {value}");
@@ -60,5 +62,24 @@ fn main() {
     println!("  duplicates flagged: {}", view.duplicates.len());
     for (other, kind, score) in view.linked.iter().take(5) {
         println!("  linked ({kind}, {score:.2}) -> {other}");
+    }
+
+    // 5. Compose the access modes: ranked search seeds, follow the discovered
+    //    links into the structure source, stream the results in pages.
+    let pages = warehouse
+        .search("kinase")
+        .follow_links(None, 1)
+        .from_source("structdb")
+        .cursor(5)
+        .expect("composed query");
+    println!("\nstructures linked to objects matching 'kinase':");
+    for page in pages {
+        for record in page.expect("page materializes") {
+            let label = record
+                .attr("title")
+                .or_else(|| record.attr("structure_id"))
+                .unwrap_or("-");
+            println!("  {}  ({label})", record.object);
+        }
     }
 }

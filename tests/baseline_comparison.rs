@@ -74,9 +74,14 @@ fn aladin_matches_manual_specification_without_the_manual_work() {
         }],
         databases.iter().collect(),
     );
-    let result = mediator.query_concept(&["accession", "description"]).unwrap();
+    let result = mediator
+        .query_concept(&["accession", "description"])
+        .unwrap();
     assert!(result.row_count() > 0);
     assert!(mediator.coverage() < 1.0);
     assert!(mediator.effort().mappings_written > 0);
-    assert!(aladin.duplicate_count() > 0, "ALADIN flags duplicates, the mediator cannot");
+    assert!(
+        aladin.duplicate_count() > 0,
+        "ALADIN flags duplicates, the mediator cannot"
+    );
 }

@@ -45,14 +45,22 @@ fn biosql_like() -> Database {
             vec![
                 Value::Int(i),
                 Value::text(format!("BE{:04}X", i)),
-                Value::text(format!("ENTRY{}{}", i, "_HUMAN".repeat(1 + (i as usize) % 2))),
+                Value::text(format!(
+                    "ENTRY{}{}",
+                    i,
+                    "_HUMAN".repeat(1 + (i as usize) % 2)
+                )),
                 Value::Int(1 + i % 5),
             ],
         )
         .unwrap();
         db.insert(
             "biosequence",
-            vec![Value::Int(i), Value::Int(i), Value::text(seq.repeat(2 + (i as usize) % 3))],
+            vec![
+                Value::Int(i),
+                Value::Int(i),
+                Value::text(seq.repeat(2 + (i as usize) % 3)),
+            ],
         )
         .unwrap();
         db.insert(
@@ -60,7 +68,11 @@ fn biosql_like() -> Database {
             vec![
                 Value::Int(i),
                 Value::Int(i),
-                Value::text(format!("{}AB{}", 1 + i % 9, (b'A' + (i % 20) as u8) as char)),
+                Value::text(format!(
+                    "{}AB{}",
+                    1 + i % 9,
+                    (b'A' + (i % 20) as u8) as char
+                )),
             ],
         )
         .unwrap();
@@ -91,10 +103,8 @@ fn biosql_bioentry_is_identified_as_the_primary_relation() {
 
     // The dbref.accession field is recognized as a potential cross-reference
     // source (non-numeric, high cardinality) by the pruning step.
-    let (candidates, _) = aladin::core::links::candidate_source_attributes(
-        &structure,
-        &AladinConfig::default(),
-    );
+    let (candidates, _) =
+        aladin::core::links::candidate_source_attributes(&structure, &AladinConfig::default());
     assert!(candidates
         .iter()
         .any(|c| c.table == "dbref" && c.column == "accession"));
@@ -107,7 +117,10 @@ fn structures_link_to_biosql_entries_via_existing_cross_references() {
     structdb
         .create_table(
             "structures",
-            TableSchema::of(vec![ColumnDef::text("structure_id"), ColumnDef::text("title")]),
+            TableSchema::of(vec![
+                ColumnDef::text("structure_id"),
+                ColumnDef::text("title"),
+            ]),
         )
         .unwrap();
     for i in 1..=20i64 {
@@ -115,7 +128,11 @@ fn structures_link_to_biosql_entries_via_existing_cross_references() {
             .insert(
                 "structures",
                 vec![
-                    Value::text(format!("{}AB{}", 1 + i % 9, (b'A' + (i % 20) as u8) as char)),
+                    Value::text(format!(
+                        "{}AB{}",
+                        1 + i % 9,
+                        (b'A' + (i % 20) as u8) as char
+                    )),
                     Value::text(format!("crystal structure of entry {i}")),
                 ],
             )

@@ -124,8 +124,16 @@ fn incremental_addition_matches_batch_addition() {
     for truth in &corpus.truth.sources {
         let a = batch.metadata().structure(&truth.source).unwrap();
         let b = reversed.metadata().structure(&truth.source).unwrap();
-        let pa: Vec<&str> = a.primary_relations.iter().map(|p| p.table.as_str()).collect();
-        let pb: Vec<&str> = b.primary_relations.iter().map(|p| p.table.as_str()).collect();
+        let pa: Vec<&str> = a
+            .primary_relations
+            .iter()
+            .map(|p| p.table.as_str())
+            .collect();
+        let pb: Vec<&str> = b
+            .primary_relations
+            .iter()
+            .map(|p| p.table.as_str())
+            .collect();
         assert_eq!(pa, pb, "primary relations differ for {}", truth.source);
     }
     // Explicit link discovery is symmetric (both directions are probed), so
@@ -189,5 +197,8 @@ fn two_primary_gene_source_is_detected_in_multi_mode() {
         .iter()
         .map(|p| p.table.as_str())
         .collect();
-    assert!(tables.contains(&"genes_gene"), "gene table not primary: {tables:?}");
+    assert!(
+        tables.contains(&"genes_gene"),
+        "gene table not primary: {tables:?}"
+    );
 }

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! median-of-samples timer. No statistics beyond mean/median/min, no HTML
+//! reports; results are printed one line per benchmark so the bench
+//! trajectory stays comparable across PRs. Passing `--test` (as `cargo test`
+//! does for bench targets) runs every closure exactly once.
+
+use std::time::{Duration, Instant};
+
+/// Re-export hint barrier; `std::hint::black_box` is stable and does the job.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stand-in treats all variants
+/// identically (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A parameterized benchmark identifier, `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement settings shared by [`Criterion`] and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Settings {
+    fn from_args() -> Settings {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            test_mode,
+        }
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            settings: Settings::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.settings, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The stand-in deliberately caps the budget: relative comparisons
+        // stay meaningful and `cargo bench` stays fast.
+        self.settings.measurement_time = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), self.settings, f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to every benchmark closure; drives the measured routine.
+pub struct Bencher {
+    settings: Settings,
+    /// Collected per-invocation timings for the current benchmark.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure a routine directly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let budget = self.settings.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if self.settings.test_mode || started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Measure a routine with a per-invocation setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = self.settings.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.settings.test_mode || started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, settings: Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        settings: Settings {
+            sample_size: if settings.test_mode {
+                1
+            } else {
+                settings.sample_size
+            },
+            ..settings
+        },
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<52} no samples");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<52} median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples)",
+        median,
+        mean,
+        samples[0],
+        samples.len()
+    );
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut total = 0usize;
+        group.bench_function("direct", |b| b.iter(|| total += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, n| {
+            b.iter_batched(|| *n, |v| total += v, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total >= 8);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this reproduction grows in has no network access, so the
+//! real crates.io `proptest` cannot be fetched. This crate implements the API
+//! subset the workspace's property tests use — the [`proptest!`] macro,
+//! `prop_assert*` macros, [`prop_oneof!`], [`strategy::Just`], `any::<T>()`,
+//! range and tuple strategies, a character-class regex subset for string
+//! strategies, and `prop::collection::vec` — over a deterministic splitmix64
+//! generator seeded from the test name. Unlike real proptest there is no
+//! shrinking: a failing case panics with the ordinary assertion message.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the property tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property test (stand-in: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test (stand-in: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test (stand-in: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// the body for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), $config);
+            for _ in 0..runner.cases() {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, runner.rng());)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = i64> {
+        (0i64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 5usize..10, b in (0.25f64..=0.75)) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.25..=0.75).contains(&b));
+        }
+
+        #[test]
+        fn mapped_and_union_strategies(v in arb_even(), w in prop_oneof![Just(1i64), Just(2i64)]) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(w == 1 || w == 2);
+            prop_assert_ne!(w, 0);
+        }
+
+        #[test]
+        fn string_and_vec_strategies(
+            s in "[a-c]{2,4}",
+            items in prop::collection::vec("[xy]{1}", 1..5),
+        ) {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!((1..5).contains(&items.len()));
+            prop_assert!(items.iter().all(|i| i == "x" || i == "y"));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_limits_cases(pair in (any::<bool>(), any::<i64>())) {
+            let (_b, _i) = pair;
+        }
+    }
+}

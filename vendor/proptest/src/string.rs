@@ -1,0 +1,143 @@
+//! String generation from a regex subset: sequences of literal characters and
+//! character classes, each with an optional `{n}` / `{m,n}` repetition.
+//!
+//! This covers every pattern the workspace's property tests use, e.g.
+//! `"[a-zA-Z0-9_:;. -]{0,24}"`, `"[ -~]{0,40}"`, `"[ACGT]{8,40}"`. Ranges
+//! inside classes follow regex rules: `-` is literal only first or last.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern '{pattern}'"));
+                let inner = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(inner, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("trailing escape in pattern '{pattern}'"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|c| *c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern '{pattern}'"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in pattern '{pattern}'");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    assert!(!inner.is_empty(), "empty class in pattern '{pattern}'");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        // `a-z` range (the `-` must have a neighbour on both sides).
+        if i + 2 < inner.len() && inner[i + 1] == '-' {
+            let (lo, hi) = (inner[i], inner[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern '{pattern}'");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(inner[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_ranges_and_repetitions() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        // `-` placed last is literal; space-to-tilde is a range.
+        let all_printable = generate("[ -~]{200}", &mut rng);
+        assert!(all_printable.chars().all(|c| (' '..='~').contains(&c)));
+        let with_dash = generate("[a -]{50}", &mut rng);
+        assert!(with_dash.chars().all(|c| "a -".contains(c)));
+        // Literals and single classes default to one occurrence.
+        assert_eq!(generate("ab", &mut rng), "ab");
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+    }
+
+    #[test]
+    fn zero_length_repetitions_allowed() {
+        let mut rng = TestRng::new(2);
+        let mut saw_empty = false;
+        let mut saw_nonempty = false;
+        for _ in 0..300 {
+            let s = generate("[xyz]{0,2}", &mut rng);
+            assert!(s.len() <= 2);
+            saw_empty |= s.is_empty();
+            saw_nonempty |= !s.is_empty();
+        }
+        assert!(saw_empty && saw_nonempty);
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the subset the workspace uses: [`SeedableRng`] with
+//! `seed_from_u64`, [`rngs::StdRng`], and the [`Rng`] extension methods
+//! `gen_range` (over integer ranges) and `gen_bool`. The generator is
+//! xoshiro256** seeded through SplitMix64, which gives high-quality,
+//! deterministic streams for the synthetic-corpus generator without any
+//! external dependency. Not cryptographically secure — neither is the use.
+
+/// A source of randomness: the core trait mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types constructible from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Primitive integers that [`Rng::gen_range`] can sample.
+pub trait RangeInt: Copy {
+    /// Widen to `i128` (lossless for every primitive integer type).
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128`; callers guarantee the value is in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+/// Argument to [`Rng::gen_range`]: the sampled type plus its bounds.
+pub trait SampleRange<T> {
+    /// Inclusive low bound and inclusive high bound of the range.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "gen_range called with empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RangeInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        let (lo_w, hi_w) = (lo.to_i128(), hi.to_i128());
+        let span = (hi_w - lo_w) as u128 + 1;
+        // Multiply-shift bounded sampling; the tiny modulo bias is irrelevant
+        // for data generation.
+        let r = ((self.next_u64() as u128).wrapping_mul(span)) >> 64;
+        T::from_i128(lo_w + r as i128)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p={p}");
+        // 53 high bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        f < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** with SplitMix64
+    /// seed expansion (same construction the xoshiro authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&v));
+            let u: usize = rng.gen_range(3..5);
+            assert!((3..5).contains(&u));
+        }
+        // Both endpoints of a small range are reachable.
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this reproduction grows in has no network access, so the
+//! crates.io `serde` cannot be fetched. The workspace currently uses serde
+//! only as `#[derive(Serialize, Deserialize)]` markers on plain-data types;
+//! this crate provides the two trait names and re-exports the no-op derives so
+//! those annotations compile. Swapping in the real `serde` later requires no
+//! source changes outside `vendor/`.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
