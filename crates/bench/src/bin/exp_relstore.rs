@@ -1,0 +1,146 @@
+//! Relstore executor experiment: measures the naive materializing evaluator
+//! against the optimized streaming executor on the serving-path query shapes
+//! and records the results in `BENCH_relstore.json`, so the bench trajectory
+//! has machine-readable data points. Also times `Warehouse::cursor` point
+//! lookups at two warehouse sizes to show that index-eligible pagination no
+//! longer scales with the table size.
+
+use aladin_bench::print_table;
+use aladin_bench::relstore_workload::{build_db, shapes};
+use aladin_core::access::{AttrFilter, Warehouse};
+use aladin_core::AladinConfig;
+use aladin_relstore::exec::{execute_naive, execute_optimized};
+use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `f` in microseconds over `iters` runs.
+fn median_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn warehouse_with_rows(rows: usize) -> Warehouse {
+    let mut db = Database::new("protkb");
+    db.create_table(
+        "protkb_entry",
+        TableSchema::of(vec![
+            ColumnDef::int("entry_id"),
+            ColumnDef::text("ac"),
+            ColumnDef::text("de"),
+        ]),
+    )
+    .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "protkb_entry",
+            vec![
+                Value::Int(i as i64),
+                Value::text(format!("P{i:06}")),
+                Value::text(format!("protein number {i}")),
+            ],
+        )
+        .unwrap();
+    }
+    let mut warehouse = Warehouse::new(AladinConfig::default());
+    warehouse.add_database(db).unwrap();
+    warehouse.warm().unwrap();
+    warehouse
+}
+
+fn main() {
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut json = String::from("{\n  \"shapes\": {\n");
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+
+    for (size_idx, &rows) in sizes.iter().enumerate() {
+        let db = build_db(rows);
+        let shaped = shapes(rows);
+        // Warm index/stats caches so optimized numbers reflect steady state.
+        for (_, plan) in &shaped {
+            execute_optimized(&db, plan).unwrap();
+        }
+        let _ = writeln!(json, "    \"{rows}\": {{");
+        for (shape_idx, (name, plan)) in shaped.iter().enumerate() {
+            let naive_iters = if rows >= 100_000 { 5 } else { 15 };
+            let naive = median_us(naive_iters, || {
+                execute_naive(&db, plan).unwrap();
+            });
+            let optimized = median_us(200, || {
+                execute_optimized(&db, plan).unwrap();
+            });
+            let speedup = naive / optimized.max(1e-3);
+            rows_out.push(vec![
+                rows.to_string(),
+                (*name).to_string(),
+                format!("{naive:.1}"),
+                format!("{optimized:.1}"),
+                format!("{speedup:.1}x"),
+            ]);
+            let comma = if shape_idx + 1 < shaped.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                json,
+                "      \"{name}\": {{\"naive_us\": {naive:.1}, \"optimized_us\": {optimized:.1}, \"speedup\": {speedup:.1}}}{comma}"
+            );
+        }
+        let comma = if size_idx + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  },\n  \"warehouse_cursor_point_lookup\": {\n");
+
+    print_table(
+        "Relstore executor: naive vs. optimized (median µs)",
+        &["rows", "shape", "naive_us", "optimized_us", "speedup"],
+        &rows_out,
+    );
+
+    // Warehouse cursor point lookups: per-call cost should stay flat as the
+    // warehouse grows, because the equality filter is served via IndexScan.
+    let cursor_sizes = [5_000usize, 20_000];
+    let mut cursor_rows: Vec<Vec<String>> = Vec::new();
+    for (i, &rows) in cursor_sizes.iter().enumerate() {
+        let warehouse = warehouse_with_rows(rows);
+        let accession = format!("P{:06}", rows / 2);
+        // Warm the relstore index once.
+        let _ = warehouse
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", &accession))
+            .count()
+            .unwrap();
+        let us = median_us(200, || {
+            let mut cursor = warehouse
+                .scan()
+                .from_source("protkb")
+                .filter(AttrFilter::equals("ac", &accession))
+                .cursor(10)
+                .unwrap();
+            let page = cursor.next().unwrap().unwrap();
+            assert_eq!(page.len(), 1);
+        });
+        cursor_rows.push(vec![rows.to_string(), format!("{us:.1}")]);
+        let comma = if i + 1 < cursor_sizes.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{rows}\": {us:.1}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    print_table(
+        "Warehouse::cursor point lookup (median µs per call)",
+        &["warehouse_rows", "cursor_us"],
+        &cursor_rows,
+    );
+
+    std::fs::write("BENCH_relstore.json", &json).expect("write BENCH_relstore.json");
+    println!("\nwrote BENCH_relstore.json");
+}

@@ -114,6 +114,103 @@ pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// The relstore executor workload shared by the `relstore_exec` bench and
+/// the `exp_relstore` experiment runner, so the two measurement paths cannot
+/// drift apart.
+pub mod relstore_workload {
+    use aladin_relstore::plan::SortKey;
+    use aladin_relstore::{ColumnDef, Database, Expr, LogicalPlan, TableSchema, Value};
+
+    /// A two-table bench database: `bioentry` with `rows` entries plus a
+    /// `dbref` annotation table with `rows / 4` cross-references.
+    pub fn build_db(rows: usize) -> Database {
+        let mut db = Database::new("bench");
+        db.create_table(
+            "bioentry",
+            TableSchema::of(vec![
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("accession"),
+                ColumnDef::text("organism"),
+                ColumnDef::float("score"),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dbref",
+            TableSchema::of(vec![
+                ColumnDef::int("dbref_id"),
+                ColumnDef::int("bioentry_id"),
+                ColumnDef::text("target"),
+            ]),
+        )
+        .unwrap();
+        for i in 0..rows {
+            db.insert(
+                "bioentry",
+                vec![
+                    Value::Int(i as i64),
+                    Value::text(format!("P{i:06}")),
+                    Value::text(format!("org-{}", i % 23)),
+                    Value::float((i % 97) as f64 / 97.0),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..rows / 4 {
+            db.insert(
+                "dbref",
+                vec![
+                    Value::Int(1_000_000 + i as i64),
+                    Value::Int((i * 4) as i64),
+                    Value::text(format!("PDB:{i:05}")),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// The serving-path query shapes measured against [`build_db`]:
+    /// accession point lookup, early-terminating filter + limit, and the
+    /// full filter + join + sort + limit pipeline.
+    pub fn shapes(rows: usize) -> Vec<(&'static str, LogicalPlan)> {
+        vec![
+            (
+                "point_lookup",
+                LogicalPlan::scan("bioentry")
+                    .filter(
+                        Expr::col("accession")
+                            .eq(Expr::lit(Value::text(format!("P{:06}", rows / 2)))),
+                    )
+                    .limit(1),
+            ),
+            (
+                "filter_limit",
+                LogicalPlan::scan("bioentry")
+                    .filter(Expr::col("accession").like("P0%"))
+                    .limit(10),
+            ),
+            (
+                "filter_join_sort_limit",
+                LogicalPlan::scan("bioentry")
+                    .join(
+                        LogicalPlan::scan("dbref"),
+                        "bioentry_id",
+                        "bioentry_id",
+                        "bioentry",
+                        "dbref",
+                    )
+                    .filter(Expr::col("organism").eq(Expr::lit(Value::text("org-7"))))
+                    .sort(vec![SortKey {
+                        column: "accession".into(),
+                        ascending: true,
+                    }])
+                    .limit(10),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,7 @@ pub(crate) fn resolve_object(
     for primary in &structure.primary_relations {
         let table = db.table(&primary.table)?;
         let idx = table.column_index(&primary.accession_column)?;
-        if table.rows().iter().any(|r| r[idx].render() == accession) {
+        if table.rows().iter().any(|r| r[idx].renders_as(accession)) {
             return Ok(ObjectRef::new(source, primary.table.clone(), accession));
         }
     }
@@ -93,7 +93,7 @@ pub(crate) fn object_attributes(
     let row = table
         .rows()
         .iter()
-        .find(|r| r[acc_idx].render() == object.accession)
+        .find(|r| r[acc_idx].renders_as(&object.accession))
         .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
     Ok(table
         .schema()
@@ -233,7 +233,7 @@ pub(crate) fn object_view(
     let row_idx = table
         .rows()
         .iter()
-        .position(|r| r[acc_idx].render() == object.accession)
+        .position(|r| r[acc_idx].renders_as(&object.accession))
         .ok_or_else(|| AladinError::UnknownObject(object.to_string()))?;
 
     // Attributes of the primary row.

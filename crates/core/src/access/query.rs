@@ -12,13 +12,25 @@
 use crate::error::{AladinError, AladinResult};
 use crate::metadata::{LinkAdjacency, LinkKind, ObjectRef};
 use crate::pipeline::Aladin;
-use aladin_relstore::{exec, sql, LogicalPlan, Table};
+use aladin_relstore::{exec, optimize, sql, ColumnDef, LogicalPlan, Table, TableSchema, Value};
 
-/// Run a SQL query against the imported schema of one source.
+/// Run a SQL statement against the imported schema of one source. `SELECT`s
+/// execute through the rule-based optimizer and the streaming executor;
+/// `EXPLAIN SELECT ...` returns the optimized plan as a one-column table of
+/// plan lines instead of running the query.
 pub(crate) fn run_sql(aladin: &Aladin, source: &str, query: &str) -> AladinResult<Table> {
     let db = aladin.database(source)?;
-    let plan = sql::parse(query)?;
-    Ok(exec::execute(db, &plan)?)
+    match sql::parse_statement(query)? {
+        sql::Statement::Select(plan) => Ok(exec::execute_optimized(db, &plan)?),
+        sql::Statement::Explain(plan) => {
+            let optimized = optimize::optimize(db, &plan);
+            let mut out = Table::new("explain", TableSchema::of(vec![ColumnDef::text("plan")]));
+            for line in optimized.explain().lines() {
+                out.insert(vec![Value::text(line)])?;
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// Build a logical plan joining the primary relation of a source to one of
@@ -129,7 +141,7 @@ impl<'a> QueryEngine<'a> {
     pub fn join_path(&self, source: &str, secondary_table: &str) -> AladinResult<Table> {
         let db = self.aladin.database(source)?;
         let plan = self.join_path_plan(source, secondary_table)?;
-        Ok(exec::execute(db, &plan)?)
+        Ok(exec::execute_optimized(db, &plan)?)
     }
 
     /// Cross-source object query: starting from the objects of `start_source`,
@@ -242,6 +254,23 @@ mod tests {
         assert_eq!(result.cell(0, "ac").unwrap().render(), "P10001");
         assert!(q.sql("missing", "SELECT * FROM t").is_err());
         assert!(q.sql("protkb", "SELECT FROM").is_err());
+    }
+
+    #[test]
+    fn explain_sql_returns_the_optimized_plan() {
+        let aladin = warehouse();
+        let q = QueryEngine::new(&aladin);
+        let plan = q
+            .sql(
+                "protkb",
+                "EXPLAIN SELECT * FROM protkb_entry WHERE ac = 'P10001'",
+            )
+            .unwrap();
+        assert_eq!(plan.schema().column_names(), vec!["plan"]);
+        assert_eq!(
+            plan.cell(0, "plan").unwrap().render(),
+            "IndexScan protkb_entry.ac = 'P10001'"
+        );
     }
 
     #[test]

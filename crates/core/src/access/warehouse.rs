@@ -347,11 +347,12 @@ impl Warehouse {
         build_join_path_plan(&self.aladin, source, secondary_table)
     }
 
-    /// Execute the path-guided join for a source and secondary table.
+    /// Execute the path-guided join for a source and secondary table through
+    /// the optimizer and the streaming executor.
     pub fn join_path(&self, source: &str, secondary_table: &str) -> AladinResult<Table> {
         let db = self.aladin.database(source)?;
         let plan = self.join_path_plan(source, secondary_table)?;
-        Ok(aladin_relstore::exec::execute(db, &plan)?)
+        Ok(aladin_relstore::exec::execute_optimized(db, &plan)?)
     }
 
     /// Cross-source object query over the cached adjacency: pairs of linked
@@ -657,6 +658,9 @@ impl<'w> ObjectQuery<'w> {
 
     /// Resolve the pipeline to the ordered hit list (before offset/limit).
     fn resolve(&self, caches: &AccessCaches) -> AladinResult<Vec<(ObjectRef, RecordOrigin)>> {
+        if let Some(hits) = self.try_relational_fast_path(caches) {
+            return Ok(hits);
+        }
         let aladin = &self.warehouse.aladin;
         let mut hits: Vec<(ObjectRef, RecordOrigin)> = match &self.root {
             QueryRoot::Scan => {
@@ -705,6 +709,70 @@ impl<'w> ObjectQuery<'w> {
             }
         }
         Ok(hits)
+    }
+
+    /// Serve a scan-rooted, single-source, filter-only pipeline through the
+    /// optimized relational executor instead of walking the whole object
+    /// population. Requires an equality filter on the accession column: its
+    /// value probes the catalog's cached hash index, which keys on *rendered*
+    /// values — exactly the comparison [`AttrFilter::matches`] performs — and
+    /// every filter is then re-evaluated against [`attributes_for`] precisely
+    /// like the slow path, so the semantics (including duplicate-accession
+    /// multiplicity and the rendered-string equality of `equals`) are
+    /// identical, just reached in `O(matches)` instead of `O(table)`.
+    /// Returns `None` (falling back to the in-memory reference path)
+    /// whenever the pipeline is not of that shape or anything errors.
+    fn try_relational_fast_path(
+        &self,
+        caches: &AccessCaches,
+    ) -> Option<Vec<(ObjectRef, RecordOrigin)>> {
+        if !matches!(self.root, QueryRoot::Scan) {
+            return None;
+        }
+        let mut source: Option<&str> = None;
+        let mut filters: Vec<&AttrFilter> = Vec::new();
+        for op in &self.ops {
+            match op {
+                QueryOp::FromSource(s) => {
+                    // Two different sources empty the result; let the slow
+                    // path handle that (and unknown-source errors).
+                    if source.is_some_and(|cur| cur != s) {
+                        return None;
+                    }
+                    source = Some(s);
+                }
+                QueryOp::Filter(f) => filters.push(f),
+                QueryOp::FollowLinks { .. } => return None,
+            }
+        }
+        let source = source?;
+        let aladin = &self.warehouse.aladin;
+        let structure = aladin.metadata().structure(source)?;
+        let [primary] = structure.primary_relations.as_slice() else {
+            return None;
+        };
+        // The anchor: an accession point lookup the hash index can serve.
+        let anchor = filters.iter().find(|f| {
+            f.op == FilterOp::Equals && f.column.eq_ignore_ascii_case(&primary.accession_column)
+        })?;
+        let db = aladin.database(source).ok()?;
+        let index = db
+            .hash_index(&primary.table, &primary.accession_column)
+            .ok()?;
+        // One hit per matching row, like the slow path's per-row scan; all
+        // rows under the key share one object (its accession is the rendered
+        // value, i.e. the key), so the attributes and the filter verdict are
+        // computed once.
+        let matches = index.lookup(&anchor.value).len();
+        if matches == 0 {
+            return Some(Vec::new());
+        }
+        let object = ObjectRef::new(source, primary.table.clone(), anchor.value.clone());
+        let attributes = attributes_for(aladin, caches, &object).ok()?;
+        if !filters.iter().all(|f| f.matches(&attributes)) {
+            return Some(Vec::new());
+        }
+        Some(vec![(object, RecordOrigin::Scan); matches])
     }
 
     fn page(&self, hits: &[(ObjectRef, RecordOrigin)]) -> std::ops::Range<usize> {
@@ -761,6 +829,22 @@ impl<'w> ObjectQuery<'w> {
     /// are not relational operators and are reported as
     /// [`AladinError::Discovery`] errors.
     pub fn plan(&self) -> AladinResult<LogicalPlan> {
+        self.compile().map(|(_, plan)| plan)
+    }
+
+    /// The `EXPLAIN` view of this query: compile it ([`ObjectQuery::plan`]),
+    /// run the plan through the rule-based optimizer against the query's
+    /// source, and pretty-print the optimized plan. Point lookups show up as
+    /// `IndexScan` nodes, pushed-down filters sit directly on their scans.
+    pub fn explain(&self) -> AladinResult<String> {
+        let (source, plan) = self.compile()?;
+        let db = self.warehouse.database(&source)?;
+        Ok(aladin_relstore::optimize::optimize(db, &plan).explain())
+    }
+
+    /// Shared body of [`ObjectQuery::plan`] and [`ObjectQuery::explain`]:
+    /// the single source the plan runs against, plus the compiled plan.
+    fn compile(&self) -> AladinResult<(String, LogicalPlan)> {
         let aladin = &self.warehouse.aladin;
 
         // Determine the single source the plan runs against.
@@ -849,7 +933,7 @@ impl<'w> ObjectQuery<'w> {
         if let Some(limit) = self.limit {
             plan = plan.limit(limit);
         }
-        Ok(plan)
+        Ok((source, plan))
     }
 }
 
@@ -1291,6 +1375,143 @@ mod tests {
             .follow_links(None, 1)
             .plan()
             .is_err());
+    }
+
+    #[test]
+    fn explain_snapshots_show_index_scans_and_pushdown() {
+        let w = warehouse();
+
+        // Accession point lookup compiles to a bare IndexScan under the
+        // stable pagination sort.
+        let explained = w.accession("protkb", "P10001").explain().unwrap();
+        assert_eq!(
+            explained,
+            "Sort ac ASC\n  IndexScan protkb_entry.ac = 'P10001'\n"
+        );
+
+        // Filter + limit: the equality filter reaches the scan as an
+        // IndexScan and the limit fuses with the pagination sort.
+        let explained = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", "P10002"))
+            .limit(1)
+            .explain()
+            .unwrap();
+        assert_eq!(
+            explained,
+            "Limit 1\n  Sort ac ASC\n    IndexScan protkb_entry.ac = 'P10002'\n"
+        );
+
+        // A non-equality filter stays a pushed-down predicate over the scan.
+        let explained = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::like("de", "%kinase%"))
+            .limit(2)
+            .explain()
+            .unwrap();
+        assert_eq!(
+            explained,
+            "Limit 2\n  Sort ac ASC\n    Filter (de LIKE '%kinase%')\n      Scan protkb_entry\n"
+        );
+
+        // Non-relational shapes are reported, like plan().
+        assert!(w.search("kinase").explain().is_err());
+    }
+
+    #[test]
+    fn relational_fast_path_agrees_with_reference_semantics() {
+        let w = warehouse();
+
+        // Equality on the accession column: served via IndexScan.
+        let fast = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", "P10001"))
+            .fetch()
+            .unwrap();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].object.accession, "P10001");
+        assert_eq!(fast[0].origin, RecordOrigin::Scan);
+        assert!(fast[0].attr("de").unwrap().contains("kinase"));
+
+        // Generic filters and counts agree with the in-memory path's
+        // documented semantics.
+        assert_eq!(
+            w.scan()
+                .from_source("protkb")
+                .filter(AttrFilter::contains("de", "KiNaSe"))
+                .count()
+                .unwrap(),
+            1
+        );
+        // Unknown filter columns match nothing (not an error).
+        assert_eq!(
+            w.scan()
+                .from_source("protkb")
+                .filter(AttrFilter::equals("no_such_column", "x"))
+                .count()
+                .unwrap(),
+            0
+        );
+
+        // Cursors over an index-eligible query paginate normally.
+        let mut cursor = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", "P10003"))
+            .cursor(10)
+            .unwrap();
+        assert_eq!(cursor.len(), 1);
+        let page = cursor.next().unwrap().unwrap();
+        assert_eq!(page[0].object.accession, "P10003");
+
+        // Filters staged around from_source behave identically.
+        assert_eq!(
+            w.scan()
+                .filter(AttrFilter::like("ac", "P1%"))
+                .from_source("protkb")
+                .count()
+                .unwrap(),
+            3
+        );
+
+        // The index anchor keeps the reference path's exact rendered-string
+        // equality: case-sensitive, no trimming, no numeric normalization.
+        for miss in ["p10001", " P10001", "P10001 "] {
+            assert_eq!(
+                w.scan()
+                    .from_source("protkb")
+                    .filter(AttrFilter::equals("ac", miss))
+                    .count()
+                    .unwrap(),
+                0,
+                "'{miss}' must not match 'P10001'"
+            );
+        }
+
+        // An anchor combined with a failing secondary filter yields nothing;
+        // with a passing one, the single object.
+        let anchored = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", "P10001"));
+        assert_eq!(
+            anchored
+                .clone()
+                .filter(AttrFilter::equals("de", "nope"))
+                .count()
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            anchored
+                .filter(AttrFilter::contains("de", "kinase"))
+                .count()
+                .unwrap(),
+            1
+        );
     }
 
     #[test]

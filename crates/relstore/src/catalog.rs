@@ -2,10 +2,32 @@
 
 use crate::constraint::{Constraint, ForeignKey};
 use crate::error::{RelError, RelResult};
+use crate::index::HashIndex;
 use crate::schema::TableSchema;
+use crate::stats::{profile_column, ColumnStats};
 use crate::table::{Row, Table};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+
+/// Lazily built access paths over the catalog's tables: hash indexes and
+/// column statistics, keyed by lowercase `(table, column)`. Entries are built
+/// on first use behind a shared reference and dropped whenever the owning
+/// table is mutably accessed, so a stale index can never be served.
+#[derive(Debug, Default)]
+struct AccessPaths {
+    indexes: RwLock<HashMap<(String, String), Arc<HashIndex>>>,
+    stats: RwLock<HashMap<(String, String), Arc<ColumnStats>>>,
+}
+
+impl Clone for AccessPaths {
+    fn clone(&self) -> AccessPaths {
+        AccessPaths {
+            indexes: RwLock::new(self.indexes.read().expect("index cache lock").clone()),
+            stats: RwLock::new(self.stats.read().expect("stats cache lock").clone()),
+        }
+    }
+}
 
 /// A database: an ordered collection of named tables and their declared
 /// constraints (the *data dictionary*).
@@ -18,6 +40,8 @@ pub struct Database {
     name: String,
     tables: BTreeMap<String, Table>,
     constraints: Vec<Constraint>,
+    #[serde(skip)]
+    access: AccessPaths,
 }
 
 impl Database {
@@ -27,6 +51,7 @@ impl Database {
             name: name.into(),
             tables: BTreeMap::new(),
             constraints: Vec::new(),
+            access: AccessPaths::default(),
         }
     }
 
@@ -79,6 +104,7 @@ impl Database {
 
     /// Remove a table and any constraints that mention it. Returns the table.
     pub fn drop_table(&mut self, name: &str) -> RelResult<Table> {
+        self.invalidate_access_paths(name);
         let key = name.to_ascii_lowercase();
         let table = self
             .tables
@@ -100,11 +126,80 @@ impl Database {
             .ok_or_else(|| RelError::UnknownTable(name.to_string()))
     }
 
-    /// Fetch a table mutably by case-insensitive name.
+    /// Fetch a table mutably by case-insensitive name. Any cached access
+    /// paths (hash indexes, column statistics) over the table are dropped:
+    /// the caller may mutate rows through the returned reference.
     pub fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.invalidate_access_paths(name);
         self.tables
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Drop cached access paths for one table after a mutable access.
+    fn invalidate_access_paths(&mut self, table: &str) {
+        let key = table.to_ascii_lowercase();
+        self.access
+            .indexes
+            .get_mut()
+            .expect("index cache lock")
+            .retain(|(t, _), _| t != &key);
+        self.access
+            .stats
+            .get_mut()
+            .expect("stats cache lock")
+            .retain(|(t, _), _| t != &key);
+    }
+
+    /// A shared hash index over `table.column`, built on first use and cached
+    /// until the table is next mutably accessed. This is the access path the
+    /// executor's `IndexScan` node probes; repeated point lookups amortize
+    /// the single build scan to `O(1)` per query.
+    pub fn hash_index(&self, table: &str, column: &str) -> RelResult<Arc<HashIndex>> {
+        let t = self.table(table)?;
+        let key = (table.to_ascii_lowercase(), column.to_ascii_lowercase());
+        if let Some(idx) = self
+            .access
+            .indexes
+            .read()
+            .expect("index cache lock")
+            .get(&key)
+        {
+            return Ok(Arc::clone(idx));
+        }
+        let built = Arc::new(HashIndex::build(t, column)?);
+        self.access
+            .indexes
+            .write()
+            .expect("index cache lock")
+            .insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Shared column statistics for `table.column`, profiled on first use and
+    /// cached until the table is next mutably accessed. The paper notes that
+    /// "these statistics need to be computed only once for each data source
+    /// and can then be reused"; the rule-based optimizer reuses them for
+    /// cardinality estimates.
+    pub fn column_stats(&self, table: &str, column: &str) -> RelResult<Arc<ColumnStats>> {
+        let t = self.table(table)?;
+        let key = (table.to_ascii_lowercase(), column.to_ascii_lowercase());
+        if let Some(s) = self
+            .access
+            .stats
+            .read()
+            .expect("stats cache lock")
+            .get(&key)
+        {
+            return Ok(Arc::clone(s));
+        }
+        let built = Arc::new(profile_column(t, column, 0)?);
+        self.access
+            .stats
+            .write()
+            .expect("stats cache lock")
+            .insert(key, Arc::clone(&built));
+        Ok(built)
     }
 
     /// Insert a row into the named table.
@@ -372,6 +467,46 @@ mod tests {
         assert!(db.constraints().is_empty());
         assert!(db.table("bioentry").is_err());
         assert!(db.drop_table("bioentry").is_err());
+    }
+
+    #[test]
+    fn hash_index_is_cached_and_invalidated_on_mutation() {
+        let mut db = db();
+        let idx = db.hash_index("bioentry", "accession").unwrap();
+        assert_eq!(idx.lookup("P12345"), &[0]);
+        // Cached: the same Arc is returned.
+        let again = db.hash_index("BIOENTRY", "ACCESSION").unwrap();
+        assert!(Arc::ptr_eq(&idx, &again));
+        // Mutation drops the cache; the rebuilt index sees the new row.
+        db.insert("bioentry", vec![Value::Int(3), Value::text("P99999")])
+            .unwrap();
+        let rebuilt = db.hash_index("bioentry", "accession").unwrap();
+        assert!(!Arc::ptr_eq(&idx, &rebuilt));
+        assert_eq!(rebuilt.lookup("P99999"), &[2]);
+        // Unknown tables and columns are reported.
+        assert!(db.hash_index("missing", "accession").is_err());
+        assert!(db.hash_index("bioentry", "missing").is_err());
+    }
+
+    #[test]
+    fn column_stats_are_cached_and_invalidated_on_mutation() {
+        let mut db = db();
+        let s = db.column_stats("bioentry", "accession").unwrap();
+        assert_eq!(s.row_count, 2);
+        let again = db.column_stats("bioentry", "accession").unwrap();
+        assert!(Arc::ptr_eq(&s, &again));
+        db.insert("bioentry", vec![Value::Int(3), Value::text("P99999")])
+            .unwrap();
+        assert_eq!(
+            db.column_stats("bioentry", "accession").unwrap().row_count,
+            3
+        );
+        // Mutating one table leaves other tables' caches intact.
+        let dbref_stats = db.column_stats("dbref", "accession").unwrap();
+        db.insert("bioentry", vec![Value::Int(4), Value::text("Q00000")])
+            .unwrap();
+        let dbref_again = db.column_stats("dbref", "accession").unwrap();
+        assert!(Arc::ptr_eq(&dbref_stats, &dbref_again));
     }
 
     #[test]

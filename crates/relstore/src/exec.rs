@@ -1,30 +1,149 @@
-//! Executor for logical plans.
+//! Executors for logical plans.
 //!
-//! The executor is a straightforward pull-based, materializing evaluator: every
-//! operator consumes a fully materialized [`Table`] and produces one. This is
-//! adequate for the warehouse sizes exercised in the reproduction and keeps the
-//! code easy to audit; the expensive analyses in ALADIN (value-set comparisons,
-//! link discovery) bypass the executor and use hash-based set operations
-//! directly.
+//! [`execute`] is the streaming executor: it compiles the plan into a
+//! pull-based operator tree ([`crate::stream`]) and materializes only the
+//! rows that reach the terminal sink, so `Limit`/`Offset` short-circuit
+//! upstream work, `Scan` never clones its table, and `Sort`+`Limit` fuses
+//! into a bounded top-k. [`execute_optimized`] additionally runs the plan
+//! through the rule-based optimizer ([`crate::optimize`]) first — predicate
+//! pushdown, index-scan rewriting, join build-side selection — and is what
+//! the serving paths use.
+//!
+//! [`execute_naive`] is the original materialize-everything evaluator (every
+//! operator consumes a whole [`Table`] and produces one). It is kept as the
+//! easy-to-audit reference implementation: the property tests check the
+//! streaming executor and the optimizer against it row for row, and the
+//! `relstore_exec` bench measures the distance between the two.
 
 use crate::catalog::Database;
 use crate::error::{RelError, RelResult};
+use crate::optimize::optimize;
 use crate::plan::{AggFunc, Aggregate, JoinType, LogicalPlan, SortKey};
 use crate::schema::{ColumnDef, TableSchema};
+use crate::stream;
 use crate::table::{Row, Table};
 use crate::types::DataType;
 use crate::value::Value;
 use std::collections::HashMap;
 
-/// Execute a logical plan against a database, producing a result table.
+/// Execute a logical plan against a database with the streaming executor,
+/// materializing the result as a table.
 pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
+    let mut input = stream::open(db, plan)?;
+    let mut out = Table::new(result_name(db, plan), input.schema().clone());
+    if let Some(hint) = row_count_hint(db, plan) {
+        out.reserve(hint);
+    }
+    while let Some(row) = input.next_row()? {
+        out.insert(row.into_owned())?;
+    }
+    Ok(out)
+}
+
+/// Optimize a plan with the rule-based optimizer, then execute it with the
+/// streaming executor. This is the path the warehouse serving layer uses.
+pub fn execute_optimized(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
+    execute(db, &optimize(db, plan))
+}
+
+/// The name the materialized result table carries, mirroring the naive
+/// evaluator: base scans keep the table name, other operators name the result
+/// after themselves, and pass-through operators keep their input's name.
+fn result_name(db: &Database, plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::Scan { table } | LogicalPlan::IndexScan { table, .. } => db
+            .table(table)
+            .map(|t| t.name().to_string())
+            .unwrap_or_else(|_| table.clone()),
+        LogicalPlan::Filter { .. } => "filter".to_string(),
+        LogicalPlan::Project { .. } => "project".to_string(),
+        LogicalPlan::Join { .. } => "join".to_string(),
+        LogicalPlan::Aggregate { .. } => "aggregate".to_string(),
+        LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Offset { input, .. } => result_name(db, input),
+    }
+}
+
+/// A cheap upper bound on the result cardinality where one is obvious, so the
+/// sink can reserve row storage up front instead of growing it insert by
+/// insert. The bound is always anchored to real table sizes — a bare `LIMIT`
+/// is *not* a hint, since `LIMIT 2000000000` would otherwise pre-allocate
+/// gigabytes for a query that returns a handful of rows.
+fn row_count_hint(db: &Database, plan: &LogicalPlan) -> Option<usize> {
+    match plan {
+        LogicalPlan::Scan { table } => db.table(table).ok().map(Table::row_count),
+        LogicalPlan::Limit { input, limit } => {
+            row_count_hint(db, input).map(|hint| hint.min(*limit))
+        }
+        LogicalPlan::Offset { input, offset } => {
+            row_count_hint(db, input).map(|hint| hint.saturating_sub(*offset))
+        }
+        LogicalPlan::Sort { input, .. } => row_count_hint(db, input),
+        _ => None,
+    }
+}
+
+/// The output schema of an aggregation, shared by the naive evaluator, the
+/// streaming executor and the optimizer's schema derivation.
+pub(crate) fn aggregate_schema(
+    in_schema: &TableSchema,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> RelResult<TableSchema> {
+    let mut cols: Vec<ColumnDef> = Vec::with_capacity(group_by.len() + aggregates.len());
+    for g in group_by {
+        let dt = in_schema
+            .column(g)
+            .map(|c| c.data_type)
+            .unwrap_or(DataType::Text);
+        cols.push(ColumnDef::new(g.clone(), dt));
+    }
+    for a in aggregates {
+        let dt = match a.func {
+            AggFunc::Count => DataType::Integer,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => DataType::Float,
+            AggFunc::Min | AggFunc::Max => a
+                .column
+                .as_deref()
+                .and_then(|c| in_schema.column(c).map(|col| col.data_type))
+                .unwrap_or(DataType::Text),
+        };
+        cols.push(ColumnDef::new(a.alias.clone(), dt));
+    }
+    TableSchema::new(cols)
+}
+
+/// Execute a logical plan with the original materializing evaluator: every
+/// operator consumes a fully materialized [`Table`] and produces one. Kept as
+/// the reference implementation for property tests and benches; serving code
+/// should call [`execute`] or [`execute_optimized`].
+pub fn execute_naive(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
     match plan {
         LogicalPlan::Scan { table } => {
             let t = db.table(table)?;
             Ok(t.clone())
         }
+        LogicalPlan::IndexScan {
+            table,
+            column,
+            value,
+        } => {
+            // The naive evaluator treats an index scan as its definitional
+            // equivalent: scan plus equality filter.
+            let t = db.table(table)?;
+            let idx = t.column_index(column)?;
+            let mut out = t.empty_like();
+            for row in t.rows() {
+                if row[idx].cmp(value) == std::cmp::Ordering::Equal {
+                    out.insert(row.clone())?;
+                }
+            }
+            Ok(out)
+        }
         LogicalPlan::Filter { input, predicate } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             let schema = t.schema().clone();
             let mut out = Table::new("filter", schema.clone());
             for row in t.rows() {
@@ -35,7 +154,7 @@ pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             Ok(out)
         }
         LogicalPlan::Project { input, exprs } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             let in_schema = t.schema().clone();
             let mut cols = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
@@ -61,8 +180,8 @@ pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             left_qualifier,
             right_qualifier,
         } => {
-            let lt = execute(db, left)?;
-            let rt = execute(db, right)?;
+            let lt = execute_naive(db, left)?;
+            let rt = execute_naive(db, right)?;
             execute_join(
                 &lt,
                 &rt,
@@ -78,15 +197,15 @@ pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             group_by,
             aggregates,
         } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             execute_aggregate(&t, group_by, aggregates)
         }
         LogicalPlan::Sort { input, keys } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             execute_sort(&t, keys)
         }
         LogicalPlan::Limit { input, limit } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             let mut out = t.empty_like();
             for row in t.rows().iter().take(*limit) {
                 out.insert(row.clone())?;
@@ -94,7 +213,7 @@ pub fn execute(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             Ok(out)
         }
         LogicalPlan::Offset { input, offset } => {
-            let t = execute(db, input)?;
+            let t = execute_naive(db, input)?;
             let mut out = t.empty_like();
             for row in t.rows().iter().skip(*offset) {
                 out.insert(row.clone())?;
@@ -172,26 +291,7 @@ fn execute_aggregate(
         })
         .collect::<RelResult<_>>()?;
 
-    let mut cols: Vec<ColumnDef> = Vec::new();
-    for (g, idx) in group_by.iter().zip(&group_idx) {
-        let dt = in_schema
-            .column_at(*idx)
-            .map(|c| c.data_type)
-            .unwrap_or(DataType::Text);
-        cols.push(ColumnDef::new(g.clone(), dt));
-    }
-    for (a, idx) in aggregates.iter().zip(&agg_idx) {
-        let dt = match a.func {
-            AggFunc::Count => DataType::Integer,
-            AggFunc::Avg => DataType::Float,
-            AggFunc::Sum => DataType::Float,
-            AggFunc::Min | AggFunc::Max => idx
-                .and_then(|i| in_schema.column_at(i).map(|c| c.data_type))
-                .unwrap_or(DataType::Text),
-        };
-        cols.push(ColumnDef::new(a.alias.clone(), dt));
-    }
-    let out_schema = TableSchema::new(cols)?;
+    let out_schema = aggregate_schema(in_schema, group_by, aggregates)?;
     let mut out = Table::new("aggregate", out_schema);
 
     // Group rows.

@@ -8,6 +8,7 @@
 
 use crate::error::RelResult;
 use crate::table::Table;
+use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -58,6 +59,18 @@ impl HashIndex {
         self.map.get(rendered).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Row positions holding a [`Value`], probing by its rendered form.
+    /// Text values (the dominant accession case) and NULLs probe without
+    /// allocating a fresh `String`; NULLs are never indexed, so they always
+    /// miss. Probe loops should prefer this over `lookup(&v.render())`.
+    pub fn lookup_value(&self, value: &Value) -> &[usize] {
+        match value {
+            Value::Null => &[],
+            Value::Text(s) => self.lookup(s),
+            other => self.lookup(&other.render()),
+        }
+    }
+
     /// Whether the value occurs at least once.
     pub fn contains(&self, rendered: &str) -> bool {
         self.map.contains_key(rendered)
@@ -103,6 +116,17 @@ mod tests {
         let t = table();
         let idx = HashIndex::build(&t, "acc").unwrap();
         assert!(!idx.contains(""));
+    }
+
+    #[test]
+    fn lookup_value_probes_by_rendered_form() {
+        let t = table();
+        let acc = HashIndex::build(&t, "acc").unwrap();
+        assert_eq!(acc.lookup_value(&Value::text("P1")), &[0, 2]);
+        assert!(acc.lookup_value(&Value::Null).is_empty());
+        let id = HashIndex::build(&t, "id").unwrap();
+        assert_eq!(id.lookup_value(&Value::Int(3)), &[2]);
+        assert_eq!(id.lookup_value(&Value::text("3")), &[2]);
     }
 
     #[test]

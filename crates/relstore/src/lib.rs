@@ -23,14 +23,21 @@
 //! * [`stats`] — per-column profiling (distinct counts, length statistics,
 //!   character-class composition, sampling) that backs the paper's heuristics
 //!   and the pruning rules of link discovery.
-//! * [`expr`], [`plan`], [`exec`] — expressions, logical plans and a
-//!   straightforward executor (scan, filter, project, join, aggregate, sort,
-//!   limit).
-//! * [`sql`] — a deliberately small SQL dialect (`SELECT ... FROM ... JOIN ...
-//!   WHERE ... GROUP BY ... ORDER BY ... LIMIT`) so that the "structured
-//!   queries" access mode of ALADIN can be exercised end to end.
-//! * [`index`] — hash indexes on single columns, used by the access engine and
-//!   by explicit-link discovery.
+//! * [`expr`], [`plan`] — expressions and logical plans, including an
+//!   `EXPLAIN`-style pretty-printer ([`LogicalPlan::explain`]).
+//! * [`exec`], [`stream`] — a streaming (pull-based) executor whose operators
+//!   pass borrowed rows and short-circuit under `LIMIT`, plus the original
+//!   materializing evaluator ([`exec::execute_naive`]) kept as the reference
+//!   implementation for property tests and benches.
+//! * [`optimize`] — a rule-based optimizer (predicate pushdown, projection
+//!   pruning, limit pushdown, index-scan rewriting, join build-side
+//!   selection) producing observationally equivalent plans.
+//! * [`sql`] — a deliberately small SQL dialect (`[EXPLAIN] SELECT ... FROM
+//!   ... JOIN ... WHERE ... GROUP BY ... ORDER BY ... LIMIT`) so that the
+//!   "structured queries" access mode of ALADIN can be exercised end to end.
+//! * [`index`] — hash indexes on single columns, used by the access engine,
+//!   by explicit-link discovery, and by the executor's `IndexScan` nodes via
+//!   the catalog's lazily built index cache ([`Database::hash_index`]).
 //!
 //! The crate is self-contained and has no knowledge of ALADIN's heuristics;
 //! those live in `aladin-core`.
@@ -44,10 +51,12 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod optimize;
 pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod stats;
+pub mod stream;
 pub mod table;
 pub mod types;
 pub mod value;

@@ -1,6 +1,8 @@
-//! Logical query plans.
+//! Logical query plans, plus the `EXPLAIN`-style pretty-printer that makes
+//! optimized and naive plans inspectable in tests and docs.
 
 use crate::expr::Expr;
+use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -88,6 +90,18 @@ pub enum LogicalPlan {
     Scan {
         /// Table name.
         table: String,
+    },
+    /// Probe a hash index for the rows of `table` whose `column` equals
+    /// `value`. Produced by the optimizer from equality predicates over base
+    /// scans; the executor re-checks the equality on the candidate rows, so
+    /// the node is exactly equivalent to `Scan` + `Filter(column = value)`.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// The probe value.
+        value: Value,
     },
     /// Filter rows by a predicate.
     Filter {
@@ -241,6 +255,117 @@ impl LogicalPlan {
         }
     }
 
+    /// Render the plan as an indented `EXPLAIN`-style tree, one operator per
+    /// line, children indented by two spaces. The output is stable and is
+    /// asserted verbatim by plan-snapshot tests, e.g.:
+    ///
+    /// ```text
+    /// Limit 1
+    ///   IndexScan protkb_entry.ac = 'P10001'
+    /// ```
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            LogicalPlan::Scan { table } => {
+                let _ = writeln!(out, "Scan {table}");
+            }
+            LogicalPlan::IndexScan {
+                table,
+                column,
+                value,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "IndexScan {table}.{column} = {}",
+                    Expr::Literal(value.clone())
+                );
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "Filter {predicate}");
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, name)| match e {
+                        Expr::Column(c) if c == name => name.clone(),
+                        other => format!("{other} AS {name}"),
+                    })
+                    .collect();
+                let _ = writeln!(out, "Project {}", cols.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+                join_type,
+                ..
+            } => {
+                let kind = match join_type {
+                    JoinType::Inner => "Inner",
+                    JoinType::LeftOuter => "LeftOuter",
+                };
+                let _ = writeln!(
+                    out,
+                    "HashJoin {kind} {left_col} = {right_col} (build right)"
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|a| match &a.column {
+                        Some(c) => format!("{}({c}) AS {}", a.func, a.alias),
+                        None => format!("{}(*) AS {}", a.func, a.alias),
+                    })
+                    .collect();
+                if group_by.is_empty() {
+                    let _ = writeln!(out, "Aggregate {}", aggs.join(", "));
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "Aggregate group by {} compute {}",
+                        group_by.join(", "),
+                        aggs.join(", ")
+                    );
+                }
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{} {}", k.column, if k.ascending { "ASC" } else { "DESC" }))
+                    .collect();
+                let _ = writeln!(out, "Sort {}", ks.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, limit } => {
+                let _ = writeln!(out, "Limit {limit}");
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Offset { input, offset } => {
+                let _ = writeln!(out, "Offset {offset}");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+
     /// Names of base tables referenced by the plan (depth-first, with
     /// duplicates removed, preserving first occurrence).
     pub fn referenced_tables(&self) -> Vec<&str> {
@@ -253,7 +378,7 @@ impl LogicalPlan {
 
     fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            LogicalPlan::Scan { table } => out.push(table),
+            LogicalPlan::Scan { table } | LogicalPlan::IndexScan { table, .. } => out.push(table),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -319,6 +444,28 @@ mod tests {
             "dbref",
         );
         assert_eq!(plan.referenced_tables(), vec!["bioentry", "dbref"]);
+    }
+
+    #[test]
+    fn explain_renders_an_indented_tree() {
+        let plan = LogicalPlan::scan("bioentry")
+            .filter(Expr::col("accession").like("P%"))
+            .sort(vec![SortKey {
+                column: "accession".into(),
+                ascending: true,
+            }])
+            .limit(10);
+        assert_eq!(
+            plan.explain(),
+            "Limit 10\n  Sort accession ASC\n    Filter (accession LIKE 'P%')\n      Scan bioentry\n"
+        );
+        let idx = LogicalPlan::IndexScan {
+            table: "bioentry".into(),
+            column: "accession".into(),
+            value: Value::text("P11111"),
+        };
+        assert_eq!(idx.explain(), "IndexScan bioentry.accession = 'P11111'\n");
+        assert_eq!(idx.referenced_tables(), vec!["bioentry"]);
     }
 
     #[test]

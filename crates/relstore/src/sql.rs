@@ -18,16 +18,36 @@
 //! Predicates support comparison operators, `LIKE`, `IS [NOT] NULL`, `AND`,
 //! `OR`, `NOT` and parentheses. This intentionally covers exactly what the
 //! COLUMBA-style iterative query refinement interface needs, nothing more.
+//! A statement may be prefixed with `EXPLAIN` (see [`parse_statement`]) to
+//! inspect the optimized plan instead of executing the query.
 
 use crate::error::{RelError, RelResult};
 use crate::expr::{BinaryOp, Expr};
 use crate::plan::{AggFunc, Aggregate, JoinType, LogicalPlan, SortKey};
 use crate::value::Value;
 
+/// A parsed SQL statement: a query, or a request to explain one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query to execute.
+    Select(LogicalPlan),
+    /// `EXPLAIN SELECT ...`: show the (optimized) plan instead of running it.
+    Explain(LogicalPlan),
+}
+
 /// Parse a SQL string into a logical plan.
 pub fn parse(sql: &str) -> RelResult<LogicalPlan> {
+    match parse_statement(sql)? {
+        Statement::Select(plan) | Statement::Explain(plan) => Ok(plan),
+    }
+}
+
+/// Parse a SQL statement, distinguishing `EXPLAIN SELECT ...` from a plain
+/// `SELECT ...`.
+pub fn parse_statement(sql: &str) -> RelResult<Statement> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
+    let explain = p.accept_keyword("EXPLAIN");
     let plan = p.parse_select()?;
     if p.pos != p.tokens.len() {
         return Err(RelError::Parse(format!(
@@ -35,7 +55,11 @@ pub fn parse(sql: &str) -> RelResult<LogicalPlan> {
             p.peek_text()
         )));
     }
-    Ok(plan)
+    Ok(if explain {
+        Statement::Explain(plan)
+    } else {
+        Statement::Select(plan)
+    })
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -742,6 +766,22 @@ mod tests {
             }
             _ => panic!("expected filter"),
         }
+    }
+
+    #[test]
+    fn explain_statements_are_recognized() {
+        let stmt = parse_statement("EXPLAIN SELECT * FROM bioentry LIMIT 1").unwrap();
+        match stmt {
+            Statement::Explain(plan) => {
+                assert!(matches!(plan, LogicalPlan::Limit { .. }));
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        let stmt = parse_statement("SELECT * FROM bioentry").unwrap();
+        assert!(matches!(stmt, Statement::Select(_)));
+        // `parse` keeps returning the bare plan either way.
+        assert!(parse("EXPLAIN SELECT * FROM bioentry").is_ok());
+        assert!(parse_statement("EXPLAIN").is_err());
     }
 
     #[test]

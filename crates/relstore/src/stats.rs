@@ -102,6 +102,19 @@ impl ColumnStats {
         }
     }
 
+    /// Estimated number of rows matched by an equality predicate on this
+    /// column, assuming a uniform value distribution: non-null rows divided
+    /// by distinct values (at least 1 when any value exists). The rule-based
+    /// optimizer uses this to cost index scans and to pick hash-join build
+    /// sides.
+    pub fn estimated_eq_rows(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            (self.non_null_count() as f64 / self.distinct_count as f64).max(1.0)
+        }
+    }
+
     /// Heuristic: does this column look like it stores biological sequences
     /// (long values over a nucleotide or amino-acid alphabet)?
     pub fn looks_like_sequence(&self) -> bool {
@@ -351,6 +364,21 @@ mod tests {
         assert_eq!(s.avg_len, 0.0);
         assert_eq!(s.selectivity(), 0.0);
         assert_eq!(s.length_spread(), 0.0);
+    }
+
+    #[test]
+    fn estimated_eq_rows_reflects_distinctness() {
+        let t = table();
+        let unique = profile_column(&t, "accession", 0).unwrap();
+        assert_eq!(unique.estimated_eq_rows(), 1.0);
+        let schema = TableSchema::of(vec![ColumnDef::text("kind")]);
+        let mut dup = Table::new("t", schema);
+        for i in 0..10 {
+            dup.insert(vec![Value::text(if i % 2 == 0 { "a" } else { "b" })])
+                .unwrap();
+        }
+        let s = profile_column(&dup, "kind", 0).unwrap();
+        assert_eq!(s.estimated_eq_rows(), 5.0);
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! Streaming (pull-based) plan execution.
+//!
+//! [`open`] compiles a [`LogicalPlan`] into a tree of [`RowStream`] operators
+//! that pull rows on demand. Rows flow as [`Cow`]s: `Scan`, `IndexScan`,
+//! `Filter`, `Limit` and `Offset` pass table rows through **borrowed**, so a
+//! `WHERE acc = ? LIMIT 1` never clones a table; only row-producing operators
+//! (`Project`, `Join`, `Aggregate`) allocate, and only for the rows they
+//! actually emit. `Limit` stops pulling as soon as it is satisfied, which
+//! short-circuits all upstream work, and `Limit` directly above `Sort` (with
+//! an optional `Offset` in between) fuses into a bounded top-k sort that
+//! keeps at most `2·(offset+limit)` rows buffered instead of the whole input.
+//!
+//! Pipeline breakers (`Sort`, `Aggregate`, the build side of `Join`) consume
+//! their input when the stream is opened; everything else is lazy. Compared
+//! to the naive evaluator ([`crate::exec::execute_naive`]) the only
+//! observable difference is that *runtime* errors (a division by zero in a
+//! predicate, say) surface only for rows that are actually pulled.
+
+use crate::catalog::Database;
+use crate::error::RelResult;
+use crate::expr::Expr;
+use crate::plan::{Aggregate, JoinType, LogicalPlan, SortKey};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::collections::{HashMap, VecDeque};
+
+/// A pull-based stream of rows with a known schema. Obtained from [`open`];
+/// drained with [`RowStream::next_row`].
+pub struct RowStream<'a> {
+    schema: TableSchema,
+    op: Op<'a>,
+}
+
+enum Op<'a> {
+    /// Base-table scan: borrowed rows, zero copies.
+    Scan(std::slice::Iter<'a, Row>),
+    /// Hash-index probe: candidate positions, re-checked against the probe
+    /// value so the node is exactly `Scan` + `Filter(column = value)`.
+    IndexScan {
+        table: &'a Table,
+        positions: std::vec::IntoIter<usize>,
+        col: usize,
+        value: Value,
+    },
+    Filter {
+        input: Box<RowStream<'a>>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<RowStream<'a>>,
+        exprs: Vec<Expr>,
+    },
+    Join(Box<HashJoin<'a>>),
+    /// Sorted (or top-k-pruned) rows, materialized when the stream opened.
+    Sorted(std::vec::IntoIter<Cow<'a, Row>>),
+    /// Owned rows materialized when the stream opened (aggregation output).
+    Materialized(std::vec::IntoIter<Row>),
+    Limit {
+        input: Box<RowStream<'a>>,
+        remaining: usize,
+    },
+    Offset {
+        input: Box<RowStream<'a>>,
+        remaining: usize,
+    },
+}
+
+struct HashJoin<'a> {
+    left: RowStream<'a>,
+    right_rows: Vec<Cow<'a, Row>>,
+    /// Join key → positions in `right_rows`. NULL keys are not entered.
+    build: HashMap<Value, Vec<usize>>,
+    right_arity: usize,
+    l_idx: usize,
+    join_type: JoinType,
+    pending: VecDeque<Row>,
+}
+
+impl<'a> RowStream<'a> {
+    /// Schema of the rows this stream yields.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Pull the next row, or `None` when the stream is exhausted.
+    pub fn next_row(&mut self) -> RelResult<Option<Cow<'a, Row>>> {
+        match &mut self.op {
+            Op::Scan(iter) => Ok(iter.next().map(Cow::Borrowed)),
+            Op::IndexScan {
+                table,
+                positions,
+                col,
+                value,
+            } => {
+                for pos in positions.by_ref() {
+                    let row = &table.rows()[pos];
+                    if row[*col].cmp(value) == Ordering::Equal {
+                        return Ok(Some(Cow::Borrowed(row)));
+                    }
+                }
+                Ok(None)
+            }
+            Op::Filter { input, predicate } => {
+                while let Some(row) = input.next_row()? {
+                    if predicate.eval_predicate(input.schema(), &row)? {
+                        return Ok(Some(row));
+                    }
+                }
+                Ok(None)
+            }
+            Op::Project { input, exprs } => match input.next_row()? {
+                None => Ok(None),
+                Some(row) => {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for e in exprs.iter() {
+                        out.push(e.eval(input.schema(), &row)?);
+                    }
+                    Ok(Some(Cow::Owned(out)))
+                }
+            },
+            Op::Join(join) => join.next_row(),
+            Op::Sorted(iter) => Ok(iter.next()),
+            Op::Materialized(iter) => Ok(iter.next().map(Cow::Owned)),
+            Op::Limit { input, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                match input.next_row()? {
+                    Some(row) => {
+                        *remaining -= 1;
+                        Ok(Some(row))
+                    }
+                    None => {
+                        *remaining = 0;
+                        Ok(None)
+                    }
+                }
+            }
+            Op::Offset { input, remaining } => {
+                while *remaining > 0 {
+                    if input.next_row()?.is_none() {
+                        *remaining = 0;
+                        return Ok(None);
+                    }
+                    *remaining -= 1;
+                }
+                input.next_row()
+            }
+        }
+    }
+}
+
+impl<'a> HashJoin<'a> {
+    fn next_row(&mut self) -> RelResult<Option<Cow<'a, Row>>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(Cow::Owned(row)));
+            }
+            let lrow = match self.left.next_row()? {
+                Some(r) => r,
+                None => return Ok(None),
+            };
+            let key = &lrow[self.l_idx];
+            let matches = if key.is_null() {
+                None
+            } else {
+                self.build.get(key)
+            };
+            match matches {
+                Some(positions) => {
+                    for &pos in positions {
+                        let rrow: &Row = &self.right_rows[pos];
+                        let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                        combined.extend(lrow.iter().cloned());
+                        combined.extend(rrow.iter().cloned());
+                        self.pending.push_back(combined);
+                    }
+                }
+                None => {
+                    if self.join_type == JoinType::LeftOuter {
+                        let mut combined = Vec::with_capacity(lrow.len() + self.right_arity);
+                        combined.extend(lrow.iter().cloned());
+                        combined.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                        self.pending.push_back(combined);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compile a plan into a pull-based operator tree over `db`. Structural
+/// errors (unknown tables, columns, duplicate projection names) surface here;
+/// per-row evaluation errors surface from [`RowStream::next_row`].
+pub fn open<'a>(db: &'a Database, plan: &LogicalPlan) -> RelResult<RowStream<'a>> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = db.table(table)?;
+            Ok(RowStream {
+                schema: t.schema().clone(),
+                op: Op::Scan(t.rows().iter()),
+            })
+        }
+        LogicalPlan::IndexScan {
+            table,
+            column,
+            value,
+        } => {
+            let t = db.table(table)?;
+            let col = t.column_index(column)?;
+            let index = db.hash_index(table, column)?;
+            let positions: Vec<usize> = index.lookup_value(value).to_vec();
+            Ok(RowStream {
+                schema: t.schema().clone(),
+                op: Op::IndexScan {
+                    table: t,
+                    positions: positions.into_iter(),
+                    col,
+                    value: value.clone(),
+                },
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let input = open(db, input)?;
+            Ok(RowStream {
+                schema: input.schema().clone(),
+                op: Op::Filter {
+                    input: Box::new(input),
+                    predicate: predicate.clone(),
+                },
+            })
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let input = open(db, input)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                cols.push(ColumnDef::new(name.clone(), e.result_type(input.schema())));
+            }
+            let schema = TableSchema::new(cols)?;
+            Ok(RowStream {
+                schema,
+                op: Op::Project {
+                    input: Box::new(input),
+                    exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                },
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            join_type,
+            left_qualifier,
+            right_qualifier,
+        } => {
+            let left_stream = open(db, left)?;
+            let mut right_stream = open(db, right)?;
+            let l_idx = left_stream.schema().require(left_col)?;
+            let r_idx = right_stream.schema().require(right_col)?;
+            let schema =
+                left_stream
+                    .schema()
+                    .join(right_stream.schema(), left_qualifier, right_qualifier);
+            let right_arity = right_stream.schema().arity();
+            // Build side: materialize the right input and hash its keys.
+            let mut right_rows: Vec<Cow<'a, Row>> = Vec::new();
+            let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
+            while let Some(row) = right_stream.next_row()? {
+                let key = row[r_idx].clone();
+                if !key.is_null() {
+                    build.entry(key).or_default().push(right_rows.len());
+                }
+                right_rows.push(row);
+            }
+            Ok(RowStream {
+                schema,
+                op: Op::Join(Box::new(HashJoin {
+                    left: left_stream,
+                    right_rows,
+                    build,
+                    right_arity,
+                    l_idx,
+                    join_type: *join_type,
+                    pending: VecDeque::new(),
+                })),
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => open_aggregate(db, input, group_by, aggregates),
+        LogicalPlan::Sort { input, keys } => open_sort(db, input, keys, None, 0),
+        LogicalPlan::Limit { input, limit } => match &**input {
+            // Sort directly below (with an optional Offset in between) fuses
+            // into a bounded top-k sort.
+            LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } => open_sort(db, sort_input, keys, Some(*limit), 0),
+            LogicalPlan::Offset {
+                input: offset_input,
+                offset,
+            } => {
+                if let LogicalPlan::Sort {
+                    input: sort_input,
+                    keys,
+                } = &**offset_input
+                {
+                    open_sort(
+                        db,
+                        sort_input,
+                        keys,
+                        Some(limit.saturating_add(*offset)),
+                        *offset,
+                    )
+                } else {
+                    open_limit(db, input, *limit)
+                }
+            }
+            _ => open_limit(db, input, *limit),
+        },
+        LogicalPlan::Offset { input, offset } => {
+            let input = open(db, input)?;
+            Ok(RowStream {
+                schema: input.schema().clone(),
+                op: Op::Offset {
+                    input: Box::new(input),
+                    remaining: *offset,
+                },
+            })
+        }
+    }
+}
+
+fn open_limit<'a>(db: &'a Database, input: &LogicalPlan, limit: usize) -> RelResult<RowStream<'a>> {
+    let input = open(db, input)?;
+    Ok(RowStream {
+        schema: input.schema().clone(),
+        op: Op::Limit {
+            input: Box::new(input),
+            remaining: limit,
+        },
+    })
+}
+
+/// Open a sort, optionally bounded to the best `keep` rows (top-k) of which
+/// the first `skip` are then dropped — the fused `Sort` + `Offset` + `Limit`
+/// pagination shape. The bounded path buffers at most `2·keep` rows.
+fn open_sort<'a>(
+    db: &'a Database,
+    input_plan: &LogicalPlan,
+    keys: &[SortKey],
+    keep: Option<usize>,
+    skip: usize,
+) -> RelResult<RowStream<'a>> {
+    let mut input = open(db, input_plan)?;
+    let schema = input.schema().clone();
+    let key_idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| schema.require(&k.column).map(|i| (i, k.ascending)))
+        .collect::<RelResult<_>>()?;
+    let compare = |a: &Cow<'a, Row>, b: &Cow<'a, Row>| {
+        for (i, asc) in &key_idx {
+            let ord = a[*i].cmp(&b[*i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    };
+
+    let mut rows: Vec<Cow<'a, Row>> = Vec::new();
+    match keep {
+        None => {
+            while let Some(row) = input.next_row()? {
+                rows.push(row);
+            }
+            rows.sort_by(compare);
+        }
+        Some(k) => {
+            // Amortized top-k: let the buffer grow to 2·k, then stable-sort
+            // and cut back to the best k. Stable sorting keeps ties in input
+            // order, so the result equals a full sort's first k rows.
+            let cap = k.max(1).saturating_mul(2);
+            while let Some(row) = input.next_row()? {
+                rows.push(row);
+                if rows.len() >= cap {
+                    rows.sort_by(compare);
+                    rows.truncate(k);
+                }
+            }
+            rows.sort_by(compare);
+            rows.truncate(k);
+        }
+    }
+    if skip > 0 {
+        rows.drain(..skip.min(rows.len()));
+    }
+    Ok(RowStream {
+        schema,
+        op: Op::Sorted(rows.into_iter()),
+    })
+}
+
+/// Incremental accumulator for one aggregate of one group.
+enum Acc {
+    Count(usize),
+    Best(Option<Value>),
+    Numeric { sum: f64, n: usize },
+}
+
+fn open_aggregate<'a>(
+    db: &'a Database,
+    input_plan: &LogicalPlan,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> RelResult<RowStream<'a>> {
+    use crate::error::RelError;
+    use crate::plan::AggFunc;
+
+    let mut input = open(db, input_plan)?;
+    let in_schema = input.schema().clone();
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| in_schema.require(c))
+        .collect::<RelResult<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => in_schema.require(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<RelResult<_>>()?;
+    let schema = crate::exec::aggregate_schema(&in_schema, group_by, aggregates)?;
+
+    let new_accs = || -> Vec<Acc> {
+        aggregates
+            .iter()
+            .map(|a| match a.func {
+                AggFunc::Count => Acc::Count(0),
+                AggFunc::Min | AggFunc::Max => Acc::Best(None),
+                AggFunc::Sum | AggFunc::Avg => Acc::Numeric { sum: 0.0, n: 0 },
+            })
+            .collect()
+    };
+
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    while let Some(row) = input.next_row()? {
+        let key: Vec<Value> = group_idx.iter().map(|i| row[*i].clone()).collect();
+        let accs = groups.entry(key).or_insert_with(new_accs);
+        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs.iter_mut()) {
+            match acc {
+                Acc::Count(n) => match idx {
+                    None => *n += 1,
+                    Some(i) => {
+                        if !row[*i].is_null() {
+                            *n += 1;
+                        }
+                    }
+                },
+                Acc::Best(best) => {
+                    let i = idx.ok_or_else(|| RelError::Exec("MIN/MAX require a column".into()))?;
+                    let v = &row[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let keep_new = match best {
+                        None => true,
+                        Some(b) => {
+                            if a.func == AggFunc::Min {
+                                v < b
+                            } else {
+                                v > b
+                            }
+                        }
+                    };
+                    if keep_new {
+                        *best = Some(v.clone());
+                    }
+                }
+                Acc::Numeric { sum, n } => {
+                    let i = idx.ok_or_else(|| RelError::Exec("SUM/AVG require a column".into()))?;
+                    let v = &row[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let f = v.as_float().ok_or_else(|| {
+                        RelError::Exec(format!("non-numeric value '{v}' in SUM/AVG"))
+                    })?;
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        // A global aggregate over an empty input still yields one row.
+        groups.insert(Vec::new(), new_accs());
+    }
+
+    // Deterministic output order.
+    let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+    keys.sort();
+    let mut rows: Vec<Row> = Vec::with_capacity(keys.len());
+    for key in keys {
+        let accs = &groups[&key];
+        let mut out_row: Row = key.clone();
+        for ((a, idx), acc) in aggregates.iter().zip(&agg_idx).zip(accs.iter()) {
+            let value = match acc {
+                Acc::Count(n) => Value::Int(*n as i64),
+                Acc::Best(best) => {
+                    if idx.is_none() {
+                        return Err(RelError::Exec("MIN/MAX require a column".into()));
+                    }
+                    best.clone().unwrap_or(Value::Null)
+                }
+                Acc::Numeric { sum, n } => {
+                    if idx.is_none() {
+                        return Err(RelError::Exec("SUM/AVG require a column".into()));
+                    }
+                    if *n == 0 {
+                        Value::Null
+                    } else if a.func == AggFunc::Sum {
+                        Value::float(*sum)
+                    } else {
+                        Value::float(*sum / *n as f64)
+                    }
+                }
+            };
+            out_row.push(value);
+        }
+        rows.push(out_row);
+    }
+    Ok(RowStream {
+        schema,
+        op: Op::Materialized(rows.into_iter()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn db() -> Database {
+        let mut db = Database::new("src");
+        db.create_table(
+            "t",
+            TableSchema::of(vec![ColumnDef::int("id"), ColumnDef::text("acc")]),
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            db.insert("t", vec![Value::Int(i), Value::text(format!("P{i:03}"))])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scan_rows_are_borrowed() {
+        let db = db();
+        let mut s = open(&db, &LogicalPlan::scan("t")).unwrap();
+        let first = s.next_row().unwrap().unwrap();
+        assert!(matches!(first, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn filter_passes_borrowed_rows_through() {
+        let db = db();
+        let plan = LogicalPlan::scan("t").filter(Expr::col("id").eq(Expr::lit(7i64)));
+        let mut s = open(&db, &plan).unwrap();
+        let row = s.next_row().unwrap().unwrap();
+        assert!(matches!(row, Cow::Borrowed(_)));
+        assert_eq!(row[1], Value::text("P007"));
+        assert!(s.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn limit_short_circuits_upstream() {
+        let db = db();
+        let plan = LogicalPlan::scan("t").limit(3);
+        let mut s = open(&db, &plan).unwrap();
+        let mut n = 0;
+        while s.next_row().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn fused_topk_equals_full_sort() {
+        let db = db();
+        let sorted = LogicalPlan::scan("t").sort(vec![SortKey {
+            column: "id".into(),
+            ascending: false,
+        }]);
+        let fused = sorted.clone().offset(5).limit(3);
+        let mut s = open(&db, &fused).unwrap();
+        let mut ids = Vec::new();
+        while let Some(row) = s.next_row().unwrap() {
+            ids.push(row[0].clone());
+        }
+        assert_eq!(ids, vec![Value::Int(94), Value::Int(93), Value::Int(92)]);
+    }
+
+    #[test]
+    fn index_scan_rechecks_equality() {
+        let mut db = Database::new("x");
+        db.create_table("m", TableSchema::of(vec![ColumnDef::text("k")]))
+            .unwrap();
+        // A text column may also store ints; "7" and 7 render identically but
+        // are not `=`-equal, so the recheck must drop the int row.
+        db.table_mut("m")
+            .unwrap()
+            .insert(vec![Value::text("7")])
+            .unwrap();
+        db.table_mut("m")
+            .unwrap()
+            .insert(vec![Value::Int(7)])
+            .unwrap();
+        let plan = LogicalPlan::IndexScan {
+            table: "m".into(),
+            column: "k".into(),
+            value: Value::text("7"),
+        };
+        let mut s = open(&db, &plan).unwrap();
+        let row = s.next_row().unwrap().unwrap();
+        assert_eq!(row[0], Value::text("7"));
+        assert!(s.next_row().unwrap().is_none());
+    }
+}

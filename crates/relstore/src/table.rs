@@ -32,6 +32,22 @@ impl Table {
         }
     }
 
+    /// Create an empty table with pre-allocated row storage. Operators that
+    /// know (a bound on) their output cardinality use this so inserting does
+    /// not reallocate row by row.
+    pub fn with_capacity(name: impl Into<String>, schema: TableSchema, rows: usize) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Reserve space for at least `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -306,6 +322,16 @@ mod tests {
         assert_eq!(idx, 3);
         assert_eq!(t.row(0).unwrap()[3], Value::Null);
         assert_eq!(t.schema().arity(), 4);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_do_not_change_contents() {
+        let schema = TableSchema::of(vec![ColumnDef::int("id")]);
+        let mut t = Table::with_capacity("t", schema, 16);
+        assert_eq!(t.row_count(), 0);
+        t.insert(vec![Value::Int(1)]).unwrap();
+        t.reserve(100);
+        assert_eq!(t.row_count(), 1);
     }
 
     #[test]

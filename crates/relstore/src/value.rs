@@ -132,6 +132,18 @@ impl Value {
         Value::Text(trimmed.to_string())
     }
 
+    /// Whether [`Value::render`] of this value equals `target`, without
+    /// allocating the rendered `String` for the dominant text and NULL cases.
+    /// Probe loops (accession resolution, index lookups) call this once per
+    /// row; the allocation-free fast paths are what make those scans cheap.
+    pub fn renders_as(&self, target: &str) -> bool {
+        match self {
+            Value::Null => target.is_empty(),
+            Value::Text(s) => s == target,
+            other => other.render() == target,
+        }
+    }
+
     /// A coarse equality used for value-set comparisons in foreign-key and
     /// cross-reference discovery: values compare by their rendered text so
     /// that `Int(7)` in one parser's output links to `Text("7")` in another's.
@@ -321,6 +333,22 @@ mod tests {
         assert_eq!(Value::Null.render(), "");
         assert_eq!(Value::Int(5).render(), "5");
         assert_eq!(Value::text("x").render(), "x");
+    }
+
+    #[test]
+    fn renders_as_matches_render_equality() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::text("P12345"),
+        ] {
+            assert!(v.renders_as(&v.render()));
+            assert!(!v.renders_as("no such rendering"));
+        }
+        assert!(Value::Null.renders_as(""));
+        assert!(!Value::text("7").renders_as(""));
     }
 
     #[test]

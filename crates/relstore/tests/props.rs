@@ -1,8 +1,101 @@
 //! Property-based tests for the relational substrate.
 
-use aladin_relstore::expr::like_match;
-use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+use aladin_relstore::exec::{execute, execute_naive};
+use aladin_relstore::expr::{like_match, Expr};
+use aladin_relstore::optimize::optimize;
+use aladin_relstore::plan::SortKey;
+use aladin_relstore::{ColumnDef, Database, LogicalPlan, Row, TableSchema, Value};
 use proptest::prelude::*;
+
+/// A two-table database for plan-equivalence testing: `entry` (id, acc, grp)
+/// and `anno` (entry_id, tag), with deliberately small value alphabets so
+/// filters and join keys collide often.
+fn plan_db(entries: &[(i64, String, i64)], annos: &[(i64, String)]) -> Database {
+    let mut db = Database::new("prop");
+    db.create_table(
+        "entry",
+        TableSchema::of(vec![
+            ColumnDef::int("id"),
+            ColumnDef::text("acc"),
+            ColumnDef::int("grp"),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "anno",
+        TableSchema::of(vec![ColumnDef::int("entry_id"), ColumnDef::text("tag")]),
+    )
+    .unwrap();
+    for (id, acc, grp) in entries {
+        db.insert(
+            "entry",
+            vec![Value::Int(*id), Value::text(acc.clone()), Value::Int(*grp)],
+        )
+        .unwrap();
+    }
+    for (entry_id, tag) in annos {
+        db.insert(
+            "anno",
+            vec![Value::Int(*entry_id), Value::text(tag.clone())],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// One randomly shaped plan over [`plan_db`]'s schema.
+#[allow(clippy::too_many_arguments)]
+fn arb_shape_plan(
+    shape: u8,
+    acc: &str,
+    grp: i64,
+    pattern: &str,
+    limit: usize,
+    offset: usize,
+    descending: bool,
+) -> LogicalPlan {
+    let acc_eq = Expr::col("acc").eq(Expr::lit(Value::text(acc)));
+    let grp_eq = Expr::col("grp").eq(Expr::lit(grp));
+    let like = Expr::col("acc").like(pattern);
+    let sort_key = vec![SortKey {
+        column: "acc".into(),
+        ascending: !descending,
+    }];
+    match shape {
+        0 => LogicalPlan::scan("entry").filter(acc_eq),
+        1 => LogicalPlan::scan("entry").filter(grp_eq).filter(like),
+        2 => LogicalPlan::scan("entry")
+            .filter(acc_eq)
+            .project_columns(&["acc", "grp"])
+            .limit(limit),
+        3 => LogicalPlan::scan("entry")
+            .filter(grp_eq.and(like))
+            .sort(sort_key)
+            .offset(offset)
+            .limit(limit),
+        4 => LogicalPlan::scan("entry")
+            .join(LogicalPlan::scan("anno"), "id", "entry_id", "entry", "anno")
+            .filter(acc_eq.and(Expr::col("tag").like(pattern)))
+            .sort(sort_key)
+            .limit(limit),
+        _ => LogicalPlan::scan("entry")
+            .filter(like)
+            .aggregate(
+                vec!["grp".to_string()],
+                vec![aladin_relstore::plan::Aggregate::count_star("n")],
+            )
+            .sort(vec![SortKey {
+                column: "grp".into(),
+                ascending: true,
+            }]),
+    }
+}
+
+fn sorted_rows(rows: &[Row]) -> Vec<Row> {
+    let mut rows = rows.to_vec();
+    rows.sort();
+    rows
+}
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -71,6 +164,62 @@ proptest! {
         let plan = aladin_relstore::sql::parse("SELECT COUNT(*) AS n FROM t").unwrap();
         let result = aladin_relstore::exec::execute(&db, &plan).unwrap();
         prop_assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(n as i64));
+    }
+
+    /// The streaming executor agrees with the naive materializing evaluator
+    /// row for row, in order, on randomly shaped plans and data.
+    #[test]
+    fn streaming_executor_matches_naive(
+        entries in prop::collection::vec((0i64..20, "[a-c]{1,2}", 0i64..4), 0..30),
+        annos in prop::collection::vec((0i64..20, "[a-c]{1,2}"), 0..20),
+        shape in 0u8..6,
+        acc in "[a-c]{1,2}",
+        grp in 0i64..4,
+        pattern in "[a-c%_]{0,3}",
+        limit in 0usize..15,
+        offset in 0usize..5,
+        descending in any::<bool>(),
+    ) {
+        let db = plan_db(&entries, &annos);
+        let plan = arb_shape_plan(shape, &acc, grp, &pattern, limit, offset, descending);
+        let naive = execute_naive(&db, &plan).unwrap();
+        let streamed = execute(&db, &plan).unwrap();
+        prop_assert_eq!(naive.schema().column_names(), streamed.schema().column_names());
+        prop_assert_eq!(naive.rows(), streamed.rows());
+    }
+
+    /// The optimizer is observationally pure:
+    /// `execute(optimize(plan)) == execute(plan)` row for row after canonical
+    /// ordering, on randomly shaped plans and data.
+    #[test]
+    fn optimizer_is_observationally_pure(
+        entries in prop::collection::vec((0i64..20, "[a-c]{1,2}", 0i64..4), 0..30),
+        annos in prop::collection::vec((0i64..20, "[a-c]{1,2}"), 0..20),
+        shape in 0u8..6,
+        acc in "[a-c]{1,2}",
+        grp in 0i64..4,
+        pattern in "[a-c%_]{0,3}",
+        limit in 0usize..15,
+        offset in 0usize..5,
+        descending in any::<bool>(),
+    ) {
+        let db = plan_db(&entries, &annos);
+        let plan = arb_shape_plan(shape, &acc, grp, &pattern, limit, offset, descending);
+        let optimized = optimize(&db, &plan);
+        let reference = execute_naive(&db, &plan).unwrap();
+        let result = execute(&db, &optimized).unwrap();
+        prop_assert_eq!(
+            reference.schema().column_names(),
+            result.schema().column_names(),
+            "schema changed by:\n{}",
+            optimized.explain()
+        );
+        prop_assert_eq!(
+            sorted_rows(reference.rows()),
+            sorted_rows(result.rows()),
+            "rows changed by:\n{}",
+            optimized.explain()
+        );
     }
 
     /// Filters partition a table: matching + non-matching row counts add up.

@@ -133,6 +133,43 @@ fn cursor_pagination_is_stable_across_pages() {
     assert_eq!(a, b);
 }
 
+#[test]
+fn explain_and_index_backed_point_lookups_end_to_end() {
+    let warehouse = corpus_warehouse(19);
+
+    // The optimized plan for an accession point lookup probes the hash index.
+    let explained = warehouse.accession("protkb", "P10000").explain().unwrap();
+    assert!(
+        explained.contains("IndexScan protkb_entry.ac = 'P10000'"),
+        "expected an IndexScan in:\n{explained}"
+    );
+
+    // EXPLAIN is reachable through the SQL dialect too.
+    let plan_table = warehouse
+        .sql(
+            "protkb",
+            "EXPLAIN SELECT * FROM protkb_entry WHERE ac = 'P10000'",
+        )
+        .unwrap();
+    assert_eq!(
+        plan_table.cell(0, "plan").unwrap().render(),
+        "IndexScan protkb_entry.ac = 'P10000'"
+    );
+
+    // The index-backed fast path serves the same records as the reference
+    // pipeline shape (accession root) for the same object.
+    let via_filter = warehouse
+        .scan()
+        .from_source("protkb")
+        .filter(AttrFilter::equals("ac", "P10000"))
+        .fetch()
+        .unwrap();
+    assert_eq!(via_filter.len(), 1);
+    let via_accession = warehouse.accession("protkb", "P10000").fetch().unwrap();
+    assert_eq!(via_filter[0].object, via_accession[0].object);
+    assert_eq!(via_filter[0].attributes, via_accession[0].attributes);
+}
+
 fn protein_db(descriptions: &[(&str, &str)]) -> Database {
     let mut db = Database::new("protkb");
     db.create_table(
