@@ -1,7 +1,7 @@
 //! E8 — Section 4.5: duplicate detection across differently modelled sources,
 //! with the similarity-measure ablation.
 
-use aladin_core::config::DuplicateMeasure;
+use aladin_core::config::{DuplicateCandidates, DuplicateMeasure};
 use aladin_core::duplicates::detect_duplicates;
 use aladin_core::pipeline::analyze_database;
 use aladin_core::AladinConfig;
@@ -35,6 +35,35 @@ fn bench_duplicates(c: &mut Criterion) {
         };
         group.bench_with_input(
             BenchmarkId::new("protkb_vs_archive", format!("{measure:?}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    detect_duplicates(
+                        &protkb,
+                        &protkb_structure,
+                        &archive,
+                        &archive_structure,
+                        &[],
+                        config,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // Candidate-generation ablation: blocking vs. the all-vs-all TF-IDF
+    // nearest-neighbour scan, same scoring either way.
+    for mode in [
+        DuplicateCandidates::Exhaustive,
+        DuplicateCandidates::Blocked,
+    ] {
+        let config = AladinConfig {
+            duplicate_candidate_mode: mode,
+            ..AladinConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("candidate_mode", format!("{mode:?}")),
             &config,
             |b, config| {
                 b.iter(|| {

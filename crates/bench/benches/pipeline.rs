@@ -4,8 +4,9 @@
 //! source-local structure-discovery step in isolation.
 
 use aladin_bench::integrate_corpus;
+use aladin_core::config::DuplicateCandidates;
 use aladin_core::pipeline::analyze_database;
-use aladin_core::AladinConfig;
+use aladin_core::{Aladin, AladinConfig};
 use aladin_datagen::{Corpus, CorpusConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
@@ -35,6 +36,29 @@ fn bench_pipeline(c: &mut Criterion) {
         let dump = corpus.source("protkb").unwrap();
         b.iter(|| dump.import().unwrap())
     });
+
+    // The 2×2 execution grid of exp_pipeline, at bench scale: sequential vs
+    // parallel workers, blocked vs exhaustive duplicate candidates.
+    for (label, workers, mode) in [
+        ("sequential_exhaustive", 1, DuplicateCandidates::Exhaustive),
+        ("parallel_blocked", 0, DuplicateCandidates::Blocked),
+    ] {
+        let config = AladinConfig {
+            workers,
+            duplicate_candidate_mode: mode,
+            ..AladinConfig::default()
+        };
+        group.bench_function(format!("integrate_batch_{label}"), |b| {
+            b.iter_batched(
+                || (corpus.import_all().unwrap(), config.clone()),
+                |(dbs, config)| {
+                    let mut aladin = Aladin::new(config);
+                    aladin.add_databases(dbs).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 
     group.finish();
 }

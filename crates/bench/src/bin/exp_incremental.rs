@@ -17,10 +17,8 @@ fn main() {
             .expect("integration succeeds");
         let step = |name: &str| {
             report
-                .step_timings
-                .iter()
-                .find(|(s, _)| s == name)
-                .map(|(_, d)| format!("{:.1}", d.as_secs_f64() * 1000.0))
+                .step_elapsed(name)
+                .map(|d| format!("{:.1}", d.as_secs_f64() * 1000.0))
                 .unwrap_or_else(|| "-".into())
         };
         rows.push(vec![

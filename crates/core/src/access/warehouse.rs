@@ -54,7 +54,7 @@ use crate::access::query::{build_join_path_plan, cross_source_over, run_sql};
 use crate::access::search::{ObjectHit, SearchIndex};
 use crate::config::AladinConfig;
 use crate::error::{AladinError, AladinResult};
-use crate::metadata::{LinkAdjacency, LinkKind, MetadataRepository, ObjectRef};
+use crate::metadata::{LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PipelineMetrics};
 use crate::pipeline::{Aladin, IntegrationReport, LinkDiscoveryPlan};
 use aladin_import::SourceFormat;
 use aladin_relstore::expr::like_match;
@@ -184,6 +184,13 @@ impl Warehouse {
         self.aladin.metadata()
     }
 
+    /// The per-step, per-pair pipeline metrics report (see
+    /// [`PipelineMetrics`]): wall-clock and output counts for every
+    /// integration step, broken down to the source pairs of steps 4–5.
+    pub fn metrics(&self) -> PipelineMetrics {
+        self.aladin.metrics()
+    }
+
     /// Names of the integrated sources.
     pub fn source_names(&self) -> Vec<&str> {
         self.aladin.source_names()
@@ -206,6 +213,13 @@ impl Warehouse {
     /// automatically.
     pub fn add_database(&mut self, db: Database) -> AladinResult<IntegrationReport> {
         self.aladin.add_database(db)
+    }
+
+    /// Integrate a batch of already-imported databases, with the source-local
+    /// analysis of the batch parallelised over `AladinConfig::workers`
+    /// threads (see [`crate::pipeline::Aladin::add_databases`]).
+    pub fn add_databases(&mut self, dbs: Vec<Database>) -> AladinResult<Vec<IntegrationReport>> {
+        self.aladin.add_databases(dbs)
     }
 
     /// Import and integrate a source given as raw files.

@@ -25,6 +25,18 @@ pub enum DuplicateMeasure {
     TfIdf,
 }
 
+/// How duplicate candidate pairs are generated before scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DuplicateCandidates {
+    /// Nearest neighbours in TF-IDF space: every object is compared against
+    /// every document of both sources (quadratic in the number of objects).
+    Exhaustive,
+    /// Blocking / sorted-neighbourhood keys (accession prefix plus normalised
+    /// name tokens): only objects sharing a candidate key or adjacent in the
+    /// sorted key order are compared, which is near-linear in the matches.
+    Blocked,
+}
+
 /// Pruning switches for link discovery (ablated in E5).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PruningConfig {
@@ -129,8 +141,27 @@ pub struct AladinConfig {
     /// Text measure used in duplicate scoring.
     pub duplicate_measure: DuplicateMeasure,
     /// Number of nearest neighbours considered per object during duplicate
-    /// candidate generation.
+    /// candidate generation (the [`DuplicateCandidates::Exhaustive`] mode).
     pub duplicate_candidates: usize,
+    /// How candidate pairs are generated before scoring.
+    pub duplicate_candidate_mode: DuplicateCandidates,
+    /// Maximum number of objects sharing one blocking key before the block is
+    /// skipped as non-discriminative (mirrors `shared_term_max_objects`: a
+    /// token carried by everything would otherwise re-create the quadratic
+    /// all-vs-all comparison).
+    pub duplicate_block_cap: usize,
+    /// Sorted-neighbourhood window: every object is also compared against its
+    /// neighbours within this distance in the normalised-text sort order
+    /// (0 disables the window pass).
+    pub duplicate_window: usize,
+
+    // -- execution --
+    /// Worker threads for per-source analysis (steps 1–3) and pairwise
+    /// link/duplicate discovery (steps 4–5). `0` uses the machine's available
+    /// parallelism; `1` runs fully sequentially. Results are identical for
+    /// every worker count: pair outcomes are merged in a deterministic order
+    /// (source name, then pair, then row).
+    pub workers: usize,
 
     // -- maintenance --
     /// Fraction of changed rows in a source above which a full re-analysis is
@@ -160,6 +191,10 @@ impl Default for AladinConfig {
             duplicate_threshold: 0.55,
             duplicate_measure: DuplicateMeasure::TfIdf,
             duplicate_candidates: 5,
+            duplicate_candidate_mode: DuplicateCandidates::Blocked,
+            duplicate_block_cap: 64,
+            duplicate_window: 8,
+            workers: 0,
             refresh_change_threshold: 0.1,
         }
     }
@@ -172,6 +207,22 @@ impl AladinConfig {
             primary_selection: PrimarySelection::Multiple,
             ..Default::default()
         }
+    }
+
+    /// The default configuration with the exhaustive (all-vs-all nearest
+    /// neighbour) duplicate candidate generation, as used before blocking
+    /// was introduced; kept for the bench comparison and regression tests.
+    pub fn with_exhaustive_duplicates() -> AladinConfig {
+        AladinConfig {
+            duplicate_candidate_mode: DuplicateCandidates::Exhaustive,
+            ..Default::default()
+        }
+    }
+
+    /// This configuration with the given worker count.
+    pub fn with_workers(mut self, workers: usize) -> AladinConfig {
+        self.workers = workers;
+        self
     }
 }
 
@@ -205,5 +256,18 @@ mod tests {
             AladinConfig::with_multiple_primaries().primary_selection,
             PrimarySelection::Multiple
         );
+    }
+
+    #[test]
+    fn duplicate_and_worker_presets() {
+        let c = AladinConfig::default();
+        assert_eq!(c.duplicate_candidate_mode, DuplicateCandidates::Blocked);
+        assert_eq!(c.workers, 0);
+        assert!(c.duplicate_block_cap > 0);
+        assert_eq!(
+            AladinConfig::with_exhaustive_duplicates().duplicate_candidate_mode,
+            DuplicateCandidates::Exhaustive
+        );
+        assert_eq!(AladinConfig::default().with_workers(4).workers, 4);
     }
 }

@@ -7,14 +7,41 @@
 //! similarity metric. [...] here duplicates should be only flagged and not
 //! merged." (Sections 3 and 4.5)
 //!
-//! Candidate generation uses three signals: shared accession values (the PDB
-//! three-flavour case of the case study), explicit cross-references between
-//! the pair, and nearest neighbours in a TF-IDF space over the objects'
-//! flattened annotation. Candidates are then scored with a configurable
-//! similarity measure over the flattened annotation plus a sequence-identity
-//! bonus when both objects carry sequences.
+//! Candidate generation depends on [`DuplicateCandidates`]:
+//!
+//! * **Exhaustive** — the pre-blocking pipeline, preserved as the regression
+//!   baseline: an *uncapped* join over every shared identifier value (a
+//!   keyword carried by hundreds of objects on both sides joins all of them
+//!   pairwise), the explicit links between the pair as seeds, and nearest
+//!   neighbours in a TF-IDF space where every object is compared against
+//!   every document of both sources. A pairwise pass is `O(n · m)` in the
+//!   object counts — the all-vs-all behaviour the paper's Section 6.2
+//!   worries about.
+//! * **Blocked** (the default) — blocking / sorted-neighbourhood candidate
+//!   keys: each object is keyed by its accession prefix and by its *rarest*
+//!   normalised name/identifier tokens (rarity measured by document
+//!   frequency over both sources, so family-wide and corpus-wide tokens
+//!   never form blocks), only objects sharing a key are paired, blocks
+//!   larger than [`AladinConfig::duplicate_block_cap`] on either side are
+//!   skipped as non-discriminative, and a sorted-neighbourhood window over
+//!   the normalised-text sort order catches near-misses. Explicit links
+//!   still seed the candidate set. Candidate generation is near-linear in
+//!   the number of matches.
+//!
+//! Candidates are scored with the same similarity formula in both modes (a
+//! configurable text measure over the flattened annotation plus a
+//! sequence-identity ramp when both objects carry sequences). The blocked
+//! mode additionally skips the expensive sequence alignment when an
+//! admissible upper bound (sequence contribution assumed perfect) already
+//! stays below the duplicate threshold; that prune never affects an
+//! above-threshold pair. Blocking itself is still a heuristic: a pair whose
+//! only shared signal is a value carried by more than `duplicate_block_cap`
+//! objects is not generated unless the window catches it, so blocked recall
+//! is not *guaranteed* to equal exhaustive recall on adversarial data.
+//! `tests/pipeline_truth.rs` pins that on the datagen world blocking
+//! reports a superset of the exhaustive path's duplicates.
 
-use crate::config::{AladinConfig, DuplicateMeasure};
+use crate::config::{AladinConfig, DuplicateCandidates, DuplicateMeasure};
 use crate::error::AladinResult;
 use crate::metadata::{Link, LinkKind, ObjectRef, SourceStructure};
 use crate::secondary::owner_accessions;
@@ -24,7 +51,7 @@ use aladin_seq::alphabet::Alphabet;
 use aladin_seq::score::ScoringScheme;
 use aladin_textmine::distance::normalized_levenshtein;
 use aladin_textmine::qgram::qgram_similarity;
-use aladin_textmine::tfidf::{cosine_similarity, TfIdfModel};
+use aladin_textmine::tfidf::{cosine_similarity, SparseVector, TfIdfModel};
 use std::collections::{HashMap, HashSet};
 
 /// The flattened representation of one primary object used for duplicate
@@ -164,17 +191,45 @@ pub fn profile_similarity(
     measure: DuplicateMeasure,
     model: Option<&TfIdfModel>,
 ) -> f64 {
-    if a.object.accession == b.object.accession {
-        return 1.0;
-    }
-    let text_sim = match measure {
-        DuplicateMeasure::EditDistance => normalized_levenshtein(&a.text, &b.text),
-        DuplicateMeasure::QGram => qgram_similarity(&a.text, &b.text, 3),
-        DuplicateMeasure::TfIdf => match model {
-            Some(m) => cosine_similarity(&m.vectorize(&a.text), &m.vectorize(&b.text)),
-            None => qgram_similarity(&a.text, &b.text, 3),
-        },
+    let vectors = match (measure, model) {
+        (DuplicateMeasure::TfIdf, Some(m)) => Some((m.vectorize(&a.text), m.vectorize(&b.text))),
+        _ => None,
     };
+    profile_similarity_prevectorized(a, b, measure, vectors.as_ref().map(|(va, vb)| (va, vb)))
+}
+
+/// The text-similarity component of the score under the configured measure.
+fn text_similarity(
+    a: &ObjectProfile,
+    b: &ObjectProfile,
+    measure: DuplicateMeasure,
+    vectors: Option<(&SparseVector, &SparseVector)>,
+) -> f64 {
+    match (measure, vectors) {
+        (DuplicateMeasure::EditDistance, _) => normalized_levenshtein(&a.text, &b.text),
+        (DuplicateMeasure::QGram, _) => qgram_similarity(&a.text, &b.text, 3),
+        (DuplicateMeasure::TfIdf, Some((va, vb))) => cosine_similarity(va, vb),
+        (DuplicateMeasure::TfIdf, None) => qgram_similarity(&a.text, &b.text, 3),
+    }
+}
+
+/// The shared-identifier bonus of a pair: 0.2 when one object's accession
+/// appears verbatim among the other's identifier values.
+fn identifier_bonus(a: &ObjectProfile, b: &ObjectProfile) -> f64 {
+    let shares_identifier =
+        a.identifiers.contains(&b.object.accession) || b.identifiers.contains(&a.object.accession);
+    if shares_identifier {
+        0.2
+    } else {
+        0.0
+    }
+}
+
+/// Complete a similarity score from an already-computed text component:
+/// sequence-identity ramp (when both objects carry sequences) plus the
+/// shared-identifier bonus. Split from [`text_similarity`] so the scoring
+/// loop can bound the final score before paying for the alignment.
+fn similarity_from_text(a: &ObjectProfile, b: &ObjectProfile, text_sim: f64) -> f64 {
     let seq_component = match (&a.sequence, &b.sequence) {
         (Some(sa), Some(sb)) => {
             let alphabet = Alphabet::detect(sa).unwrap_or(Alphabet::Protein);
@@ -186,23 +241,229 @@ pub fn profile_similarity(
         }
         _ => None,
     };
-    let mut score = match seq_component {
+    let score = match seq_component {
         Some(s) => 0.5 * text_sim + 0.5 * s,
         None => text_sim,
     };
-    let shares_identifier =
-        a.identifiers.contains(&b.object.accession) || b.identifiers.contains(&a.object.accession);
-    if shares_identifier {
-        score = (score + 0.2).min(1.0);
+    (score + identifier_bonus(a, b)).min(1.0)
+}
+
+/// [`profile_similarity`] with the TF-IDF vectors of the two profiles already
+/// computed. Vectorizing each profile once and scoring many candidate pairs
+/// against the cached vectors is what makes the scoring pass linear in the
+/// candidate count instead of re-tokenizing the annotation per pair.
+fn profile_similarity_prevectorized(
+    a: &ObjectProfile,
+    b: &ObjectProfile,
+    measure: DuplicateMeasure,
+    vectors: Option<(&SparseVector, &SparseVector)>,
+) -> f64 {
+    if a.object.accession == b.object.accession {
+        return 1.0;
     }
-    score
+    similarity_from_text(a, b, text_similarity(a, b, measure, vectors))
+}
+
+/// How many leading characters of the normalised accession form the
+/// accession-prefix blocking key.
+const ACCESSION_PREFIX_LEN: usize = 4;
+
+/// How many leading text tokens feed the blocking-token pool. The profile
+/// text starts with the primary-row values (name, symbol, organism, ...), so
+/// the leading tokens are the object's naming attributes rather than
+/// trailing free-text annotation.
+const NAME_TOKEN_COUNT: usize = 16;
+
+/// How many of an object's rarest tokens actually become blocking keys.
+/// Rarity is document frequency over both sources, so the selected keys are
+/// the most discriminative ones (a gene symbol, a distinctive name word)
+/// rather than family- or corpus-wide vocabulary.
+const RARE_TOKENS_PER_OBJECT: usize = 6;
+
+/// Length of the normalised-text key used for the sorted-neighbourhood pass.
+const SORT_KEY_LEN: usize = 24;
+
+/// Normalise a string into lowercase alphanumeric tokens (Unicode-aware:
+/// any non-alphanumeric character separates tokens).
+fn normalised_tokens(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// The accession-prefix blocking key of a profile, if the accession has any
+/// alphanumeric content.
+fn accession_key(profile: &ObjectProfile) -> Option<String> {
+    let accession: String = profile
+        .object
+        .accession
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .take(ACCESSION_PREFIX_LEN)
+        .collect();
+    if accession.is_empty() {
+        None
+    } else {
+        Some(format!("acc:{accession}"))
+    }
+}
+
+/// The blocking-token pool of one profile: the normalised identifier values
+/// and the leading normalised name tokens (single-character tokens are too
+/// common to discriminate and are dropped). The rarest
+/// [`RARE_TOKENS_PER_OBJECT`] of these become the object's blocking keys.
+fn token_pool(profile: &ObjectProfile) -> Vec<String> {
+    let mut tokens: Vec<String> = Vec::new();
+    for id in &profile.identifiers {
+        let normalised: String = id
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .flat_map(char::to_lowercase)
+            .collect();
+        if normalised.chars().count() >= 2 {
+            tokens.push(normalised);
+        }
+    }
+    for token in normalised_tokens(&profile.text).take(NAME_TOKEN_COUNT) {
+        if token.chars().count() >= 2 {
+            tokens.push(token);
+        }
+    }
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+/// The sorted-neighbourhood key of a profile: its normalised text, truncated.
+/// Sorting both sources' profiles by this key brings objects with similar
+/// leading annotation next to each other; a sliding window then pairs
+/// cross-source neighbours that share no discriminative blocking key.
+fn neighbourhood_key(profile: &ObjectProfile) -> String {
+    let mut key = String::with_capacity(SORT_KEY_LEN);
+    for token in normalised_tokens(&profile.text) {
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        key.push_str(&token);
+        if key.chars().count() >= SORT_KEY_LEN {
+            break;
+        }
+    }
+    key.chars().take(SORT_KEY_LEN).collect()
+}
+
+/// Generate candidate pairs by blocking + sorted neighbourhood.
+fn blocked_candidates(
+    a_profiles: &[ObjectProfile],
+    b_profiles: &[ObjectProfile],
+    config: &AladinConfig,
+    candidates: &mut HashSet<(usize, usize)>,
+) {
+    // Token pools and their document frequency over both sources: the df
+    // ranking picks each object's most discriminative tokens as keys.
+    let a_pools: Vec<Vec<String>> = a_profiles.iter().map(token_pool).collect();
+    let b_pools: Vec<Vec<String>> = b_profiles.iter().map(token_pool).collect();
+    let mut df: HashMap<&str, usize> = HashMap::new();
+    for pool in a_pools.iter().chain(b_pools.iter()) {
+        for token in pool {
+            *df.entry(token.as_str()).or_insert(0) += 1;
+        }
+    }
+    let rare_keys = |pool: &[String]| -> Vec<String> {
+        let mut ranked: Vec<&String> = pool.iter().collect();
+        // Ties broken by token text: pools are sorted and deduped, so the
+        // selection is deterministic.
+        ranked.sort_by_key(|t| (df.get(t.as_str()).copied().unwrap_or(0), (*t).clone()));
+        ranked
+            .into_iter()
+            .take(RARE_TOKENS_PER_OBJECT)
+            .map(|t| format!("tok:{t}"))
+            .collect()
+    };
+
+    // Blocking: objects sharing a candidate key are paired, unless the block
+    // is too large on either side to discriminate.
+    let mut blocks: HashMap<String, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    for (i, p) in a_profiles.iter().enumerate() {
+        for key in accession_key(p).into_iter().chain(rare_keys(&a_pools[i])) {
+            blocks.entry(key).or_default().0.push(i);
+        }
+    }
+    for (j, p) in b_profiles.iter().enumerate() {
+        for key in accession_key(p).into_iter().chain(rare_keys(&b_pools[j])) {
+            blocks.entry(key).or_default().1.push(j);
+        }
+    }
+    let cap = config.duplicate_block_cap.max(1);
+    for (a_side, b_side) in blocks.values() {
+        if a_side.is_empty() || b_side.is_empty() || a_side.len() > cap || b_side.len() > cap {
+            continue;
+        }
+        for &i in a_side {
+            for &j in b_side {
+                candidates.insert((i, j));
+            }
+        }
+    }
+
+    // Sorted neighbourhood: merge both sides into one key-sorted sequence and
+    // pair cross-source entries within the window.
+    let window = config.duplicate_window;
+    if window == 0 {
+        return;
+    }
+    // side 0 = a, side 1 = b; (key, side, index) sorts deterministically.
+    let mut entries: Vec<(String, u8, usize)> =
+        Vec::with_capacity(a_profiles.len() + b_profiles.len());
+    entries.extend(
+        a_profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (neighbourhood_key(p), 0u8, i)),
+    );
+    entries.extend(
+        b_profiles
+            .iter()
+            .enumerate()
+            .map(|(j, p)| (neighbourhood_key(p), 1u8, j)),
+    );
+    entries.sort_unstable();
+    for (pos, (_, side, idx)) in entries.iter().enumerate() {
+        for (other_key, other_side, other_idx) in entries.iter().skip(pos + 1).take(window) {
+            let _ = other_key;
+            match (side, other_side) {
+                (0, 1) => {
+                    candidates.insert((*idx, *other_idx));
+                }
+                (1, 0) => {
+                    candidates.insert((*other_idx, *idx));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The outcome of duplicate detection between one source pair.
+#[derive(Debug, Clone, Default)]
+pub struct DuplicateOutcome {
+    /// Discovered duplicate links.
+    pub links: Vec<Link>,
+    /// Number of candidate pairs actually scored (the blocking metric: the
+    /// exhaustive mode additionally *compares* every cross-source document
+    /// pair during nearest-neighbour generation, which this count excludes).
+    pub candidates_scored: usize,
 }
 
 /// Detect duplicates between the primary objects of two sources.
 ///
 /// Returns duplicate links (kind [`LinkKind::Duplicate`]) with the similarity
 /// as score. `existing_links` (typically the explicit links already found
-/// between the pair) seed the candidate set.
+/// between the pair) seed the candidate set. Candidate generation follows
+/// [`AladinConfig::duplicate_candidate_mode`] (see the module docs for the
+/// two modes), and the returned links are fully ordered (score descending,
+/// then endpoints) so the output is deterministic.
 pub fn detect_duplicates(
     a_db: &Database,
     a_structure: &SourceStructure,
@@ -210,11 +471,11 @@ pub fn detect_duplicates(
     b_structure: &SourceStructure,
     existing_links: &[Link],
     config: &AladinConfig,
-) -> AladinResult<Vec<Link>> {
+) -> AladinResult<DuplicateOutcome> {
     let a_profiles = build_profiles(a_db, a_structure)?;
     let b_profiles = build_profiles(b_db, b_structure)?;
     if a_profiles.is_empty() || b_profiles.is_empty() {
-        return Ok(Vec::new());
+        return Ok(DuplicateOutcome::default());
     }
 
     let a_index: HashMap<&str, usize> = a_profiles
@@ -229,7 +490,7 @@ pub fn detect_duplicates(
         .collect();
 
     // TF-IDF model over both sides (for the TfIdf measure and for candidate
-    // generation by nearest neighbour).
+    // generation by nearest neighbour in the exhaustive mode).
     let model = TfIdfModel::fit(
         a_profiles
             .iter()
@@ -243,24 +504,7 @@ pub fn detect_duplicates(
 
     let mut candidates: HashSet<(usize, usize)> = HashSet::new();
 
-    // 1. Shared identifiers (accessions appearing in both objects' values).
-    let mut b_by_identifier: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (i, p) in b_profiles.iter().enumerate() {
-        for id in &p.identifiers {
-            b_by_identifier.entry(id.as_str()).or_default().push(i);
-        }
-    }
-    for (i, p) in a_profiles.iter().enumerate() {
-        for id in &p.identifiers {
-            if let Some(matches) = b_by_identifier.get(id.as_str()) {
-                for &j in matches {
-                    candidates.insert((i, j));
-                }
-            }
-        }
-    }
-
-    // 2. Existing explicit links between the pair.
+    // 1. Existing explicit links between the pair.
     for link in existing_links {
         let (a_obj, b_obj) = if link.from.source == a_db.name() && link.to.source == b_db.name() {
             (&link.from, &link.to)
@@ -277,26 +521,94 @@ pub fn detect_duplicates(
         }
     }
 
-    // 3. Nearest neighbours in TF-IDF space.
-    for (i, p) in a_profiles.iter().enumerate() {
-        if p.text.is_empty() {
-            continue;
-        }
-        for (doc, _) in model.most_similar(&p.text, config.duplicate_candidates, &[]) {
-            if let Some(acc) = doc.strip_prefix("b/") {
-                if let Some(&j) = b_index.get(acc) {
-                    candidates.insert((i, j));
+    // 2. Mode-dependent generation.
+    match config.duplicate_candidate_mode {
+        DuplicateCandidates::Exhaustive => {
+            // The legacy all-vs-all pass: an uncapped join over every shared
+            // identifier value, then TF-IDF nearest neighbours where every
+            // object is compared against every document of both sources.
+            let mut b_by_identifier: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (i, p) in b_profiles.iter().enumerate() {
+                for id in &p.identifiers {
+                    b_by_identifier.entry(id.as_str()).or_default().push(i);
+                }
+            }
+            for (i, p) in a_profiles.iter().enumerate() {
+                for id in &p.identifiers {
+                    if let Some(matches) = b_by_identifier.get(id.as_str()) {
+                        for &j in matches {
+                            candidates.insert((i, j));
+                        }
+                    }
+                }
+            }
+            for (i, p) in a_profiles.iter().enumerate() {
+                if p.text.is_empty() {
+                    continue;
+                }
+                for (doc, _) in model.most_similar(&p.text, config.duplicate_candidates, &[]) {
+                    if let Some(acc) = doc.strip_prefix("b/") {
+                        if let Some(&j) = b_index.get(acc) {
+                            candidates.insert((i, j));
+                        }
+                    }
                 }
             }
         }
+        DuplicateCandidates::Blocked => {
+            // Identifier matches are folded into the (capped) blocking keys;
+            // only the sorted-neighbourhood window and the seeds add to them.
+            blocked_candidates(&a_profiles, &b_profiles, config, &mut candidates);
+        }
     }
 
-    // Score candidates.
+    // Score candidates in deterministic order, with each profile vectorized
+    // exactly once for the TF-IDF measure.
+    let mut ordered: Vec<(usize, usize)> = candidates.into_iter().collect();
+    ordered.sort_unstable();
+    let vectors: Option<(Vec<SparseVector>, Vec<SparseVector>)> =
+        (config.duplicate_measure == DuplicateMeasure::TfIdf).then(|| {
+            (
+                a_profiles
+                    .iter()
+                    .map(|p| model.vectorize(&p.text))
+                    .collect(),
+                b_profiles
+                    .iter()
+                    .map(|p| model.vectorize(&p.text))
+                    .collect(),
+            )
+        });
+
     let mut links = Vec::new();
-    for (i, j) in candidates {
+    let candidates_scored = ordered.len();
+    let prune = config.duplicate_candidate_mode == DuplicateCandidates::Blocked;
+    for (i, j) in ordered {
         let a = &a_profiles[i];
         let b = &b_profiles[j];
-        let score = profile_similarity(a, b, config.duplicate_measure, Some(&model));
+        let score = if a.object.accession == b.object.accession {
+            1.0
+        } else {
+            let text_sim = text_similarity(
+                a,
+                b,
+                config.duplicate_measure,
+                vectors.as_ref().map(|(va, vb)| (&va[i], &vb[j])),
+            );
+            // Admissible bound: even a perfect sequence match cannot lift
+            // the score past `0.5·text + 0.5 + bonus`, so when that stays
+            // below the threshold the alignment is provably wasted work.
+            // Only the blocked mode prunes — the exhaustive mode is the
+            // pre-blocking pipeline kept bit-for-bit as baseline.
+            let upper = match (&a.sequence, &b.sequence) {
+                (Some(_), Some(_)) => 0.5 * text_sim + 0.5 + identifier_bonus(a, b),
+                _ => text_sim + identifier_bonus(a, b),
+            };
+            if prune && upper < config.duplicate_threshold {
+                continue;
+            }
+            similarity_from_text(a, b, text_sim)
+        };
         if score >= config.duplicate_threshold {
             links.push(Link {
                 from: a.object.clone(),
@@ -312,8 +624,12 @@ pub fn detect_duplicates(
             .partial_cmp(&x.score)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| x.from.cmp(&y.from))
+            .then_with(|| x.to.cmp(&y.to))
     });
-    Ok(links)
+    Ok(DuplicateOutcome {
+        links,
+        candidates_scored,
+    })
 }
 
 #[cfg(test)]
@@ -462,7 +778,9 @@ mod tests {
         let b = archive(false);
         let sa = analyze_database(&a, &cfg).unwrap();
         let sb = analyze_database(&b, &cfg).unwrap();
-        let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+        let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
+            .unwrap()
+            .links;
         assert!(dups
             .iter()
             .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"));
@@ -482,6 +800,7 @@ mod tests {
             let sb = analyze_database(&b, &cfg).unwrap();
             detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
                 .unwrap()
+                .links
                 .into_iter()
                 .find(|d| d.from.accession == "P10001" && d.to.accession == "PA0001")
                 .expect("duplicate must be found even without the reference")
@@ -493,6 +812,7 @@ mod tests {
             let sb = analyze_database(&b, &cfg).unwrap();
             detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
                 .unwrap()
+                .links
                 .into_iter()
                 .find(|d| d.from.accession == "P10001" && d.to.accession == "PA0001")
                 .expect("shared accession must be flagged")
@@ -555,7 +875,9 @@ mod tests {
             };
             let sa = analyze_database(&a, &cfg).unwrap();
             let sb = analyze_database(&b, &cfg).unwrap();
-            let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+            let dups = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
+                .unwrap()
+                .links;
             assert!(
                 dups.iter()
                     .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"),
@@ -581,7 +903,9 @@ mod tests {
             score: 1.0,
             evidence: "seed".into(),
         };
-        let dups = detect_duplicates(&a, &sa, &b, &sb, &[seed], &cfg).unwrap();
+        let dups = detect_duplicates(&a, &sa, &b, &sb, &[seed], &cfg)
+            .unwrap()
+            .links;
         assert!(dups
             .iter()
             .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"));
@@ -600,8 +924,193 @@ mod tests {
             source: "empty".into(),
             ..Default::default()
         };
-        assert!(detect_duplicates(&a, &sa, &empty, &se, &[], &cfg)
-            .unwrap()
-            .is_empty());
+        for mode in [
+            DuplicateCandidates::Exhaustive,
+            DuplicateCandidates::Blocked,
+        ] {
+            let cfg = AladinConfig {
+                duplicate_candidate_mode: mode,
+                ..cfg.clone()
+            };
+            let outcome = detect_duplicates(&a, &sa, &empty, &se, &[], &cfg).unwrap();
+            assert!(outcome.links.is_empty(), "mode {mode:?}");
+            assert_eq!(outcome.candidates_scored, 0, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_mode_finds_the_same_duplicates_as_exhaustive_here() {
+        let a = protkb();
+        let b = archive(false);
+        let run = |mode: DuplicateCandidates| {
+            let cfg = AladinConfig {
+                duplicate_candidate_mode: mode,
+                ..config()
+            };
+            let sa = analyze_database(&a, &cfg).unwrap();
+            let sb = analyze_database(&b, &cfg).unwrap();
+            detect_duplicates(&a, &sa, &b, &sb, &[], &cfg)
+                .unwrap()
+                .links
+        };
+        let exhaustive = run(DuplicateCandidates::Exhaustive);
+        let blocked = run(DuplicateCandidates::Blocked);
+        // Every pair the exhaustive path reports above the threshold is also
+        // reported (with an identical score) by the blocked path.
+        for link in &exhaustive {
+            assert!(
+                blocked.iter().any(|l| l.from == link.from
+                    && l.to == link.to
+                    && (l.score - link.score).abs() < 1e-12),
+                "blocked path dropped {} -> {}",
+                link.from,
+                link.to
+            );
+        }
+        assert!(blocked
+            .iter()
+            .any(|d| d.from.accession == "P10001" && d.to.accession == "PA0001"));
+    }
+
+    /// One source whose every row shares the same name token: the shared
+    /// block exceeds the cap and is skipped, candidate generation stays
+    /// near-linear, and the one true duplicate (equal accession across the
+    /// sources) is still found through its accession-prefix block.
+    #[test]
+    fn oversized_blocks_are_skipped_without_losing_accession_matches() {
+        let make = |name: &str, rows: usize| {
+            let mut db = Database::new(name);
+            db.create_table(
+                "entries",
+                TableSchema::of(vec![ColumnDef::text("acc"), ColumnDef::text("description")]),
+            )
+            .unwrap();
+            for i in 0..rows {
+                db.insert(
+                    "entries",
+                    vec![
+                        Value::text(format!("L{i:04}")),
+                        Value::text(format!("ubiquitous chaperone protein variant {i}")),
+                    ],
+                )
+                .unwrap();
+            }
+            db
+        };
+        let cfg = AladinConfig {
+            duplicate_candidate_mode: DuplicateCandidates::Blocked,
+            duplicate_block_cap: 8,
+            duplicate_window: 2,
+            duplicate_threshold: 0.99,
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            ..Default::default()
+        };
+        let a = make("left", 40);
+        let b = make("right", 40);
+        let sa = analyze_database(&a, &cfg).unwrap();
+        let sb = analyze_database(&b, &cfg).unwrap();
+        let outcome = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+        // The common tokens ("ubiquitous", "chaperone", ...) block 40 objects
+        // per side and are skipped; candidates come from equal accessions,
+        // accession prefixes, distinct variant ordinals and the window — far
+        // fewer than the 1600 all-vs-all pairs.
+        assert!(
+            outcome.candidates_scored < 800,
+            "scored {} pairs",
+            outcome.candidates_scored
+        );
+        // Equal accessions across the sources are conclusive duplicates and
+        // must all survive the cap.
+        assert_eq!(outcome.links.len(), 40);
+        assert!(outcome.links.iter().all(|l| l.score == 1.0));
+    }
+
+    #[test]
+    fn unicode_and_whitespace_only_names_are_handled() {
+        let make = |name: &str, label: &str| {
+            let mut db = Database::new(name);
+            db.create_table(
+                "entries",
+                TableSchema::of(vec![ColumnDef::text("acc"), ColumnDef::text("description")]),
+            )
+            .unwrap();
+            for (i, desc) in [label, "   ", "\t\u{00a0}\u{3000}"].iter().enumerate() {
+                db.insert(
+                    "entries",
+                    vec![Value::text(format!("X{i:04}")), Value::text(*desc)],
+                )
+                .unwrap();
+            }
+            db
+        };
+        let cfg = AladinConfig {
+            duplicate_candidate_mode: DuplicateCandidates::Blocked,
+            link_min_matches: 1,
+            min_distinct_values: 2,
+            ..Default::default()
+        };
+        // Identical Greek descriptions plus equal accessions across sources.
+        let a = make("alpha", "πρωτεΐνη κινάση ενεργοποιημένη από μιτογόνο");
+        let b = make("beta", "πρωτεΐνη κινάση ενεργοποιημένη από μιτογόνο");
+        let sa = analyze_database(&a, &cfg).unwrap();
+        let sb = analyze_database(&b, &cfg).unwrap();
+        let outcome = detect_duplicates(&a, &sa, &b, &sb, &[], &cfg).unwrap();
+        // Equal accessions across sources are conclusive even for the
+        // whitespace-only rows; nothing panics on non-ASCII tokenisation.
+        assert!(outcome.links.len() >= 3, "found {}", outcome.links.len());
+        assert!(outcome.links.iter().any(|l| l.score == 1.0));
+    }
+
+    #[test]
+    fn blocking_keys_normalise_unicode_and_skip_blank_text() {
+        let profile = |acc: &str, text: &str| ObjectProfile {
+            object: ObjectRef::new("src", "entries", acc),
+            text: text.to_string(),
+            sequence: None,
+            identifiers: HashSet::from([acc.to_string()]),
+        };
+        let greek = profile("Πρ0001", "Κινάση ΕΝΕΡΓΗ 7");
+        let pool = token_pool(&greek);
+        assert!(pool.iter().any(|t| t == "κινάση"), "pool: {pool:?}");
+        assert_eq!(accession_key(&greek).as_deref(), Some("acc:πρ00"));
+        // Single-character tokens are dropped as non-discriminative.
+        assert!(!pool.iter().any(|t| t == "7"));
+
+        let blank = profile(" ", "  \t ");
+        assert!(token_pool(&blank).is_empty());
+        assert!(accession_key(&blank).is_none());
+        assert_eq!(neighbourhood_key(&blank), "");
+        assert_eq!(neighbourhood_key(&greek), "κινάση ενεργη 7");
+    }
+
+    #[test]
+    fn sorted_neighbourhood_window_pairs_adjacent_texts() {
+        let profile = |source: &str, acc: &str, text: &str| ObjectProfile {
+            object: ObjectRef::new(source, "entries", acc),
+            text: text.to_string(),
+            sequence: None,
+            identifiers: HashSet::new(),
+        };
+        // No shared tokens of length >= 2 between the pair (so no token
+        // block), but adjacent in sort order: the window must pair them.
+        let a_profiles = vec![profile("a", "A1", "zz q")];
+        let b_profiles = vec![profile("b", "B1", "zy w")];
+        let mut candidates = HashSet::new();
+        let cfg = AladinConfig {
+            duplicate_block_cap: 0, // every block over-caps: only the window acts
+            duplicate_window: 3,
+            ..Default::default()
+        };
+        blocked_candidates(&a_profiles, &b_profiles, &cfg, &mut candidates);
+        assert!(candidates.contains(&(0, 0)));
+
+        let mut no_window = HashSet::new();
+        let cfg = AladinConfig {
+            duplicate_window: 0,
+            ..cfg
+        };
+        blocked_candidates(&a_profiles, &b_profiles, &cfg, &mut no_window);
+        assert!(no_window.is_empty());
     }
 }

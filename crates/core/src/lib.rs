@@ -44,6 +44,7 @@ pub mod error;
 pub mod eval;
 pub mod links;
 pub mod metadata;
+pub mod parallel;
 pub mod pipeline;
 pub mod primary;
 pub mod relationships;
@@ -51,7 +52,10 @@ pub mod secondary;
 pub mod unique;
 
 pub use access::{ObjectQuery, ObjectRecord, Warehouse};
-pub use config::AladinConfig;
+pub use config::{AladinConfig, DuplicateCandidates};
 pub use error::{AladinError, AladinResult};
-pub use metadata::{Link, LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, SourceStructure};
-pub use pipeline::{Aladin, IntegrationReport};
+pub use metadata::{
+    Link, LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PipelineMetrics, SourceStructure,
+    StepTiming,
+};
+pub use pipeline::{Aladin, IntegrationReport, LinkDiscoveryPlan};

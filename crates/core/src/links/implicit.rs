@@ -244,7 +244,13 @@ pub fn discover_shared_term_links(
 
     let mut links = Vec::new();
     let mut seen: HashSet<(ObjectRef, ObjectRef)> = HashSet::new();
-    for (value, from_objs) in &from_by_value {
+    // Shared values in sorted order: iterating the HashMap directly would
+    // emit links in a per-instance order (and truncate at the per-pair cap
+    // nondeterministically).
+    let mut shared_values: Vec<&str> = from_by_value.keys().copied().collect();
+    shared_values.sort_unstable();
+    for value in shared_values {
+        let from_objs = &from_by_value[value];
         let to_objs = match to_by_value.get(value) {
             Some(o) => o,
             None => continue,

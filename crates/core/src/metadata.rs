@@ -147,7 +147,7 @@ pub struct AccessionCandidate {
 
 /// Everything ALADIN has discovered about the internal structure of one
 /// source.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SourceStructure {
     /// Source name.
     pub source: String,
@@ -196,17 +196,104 @@ impl SourceStructure {
     }
 }
 
-/// Wall-clock timing of one step of the integration process for one source.
+/// Wall-clock timing of one step of the integration process for one source,
+/// optionally broken down to the pair of sources it compared.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepTiming {
-    /// Source the step ran for.
+    /// Source the step ran for (the source being integrated).
     pub source: String,
-    /// Step name ("import", "primary discovery", ...).
+    /// Step name ("import", "structure discovery", ...).
     pub step: String,
+    /// For pairwise steps (link discovery, duplicate detection): the
+    /// already-integrated source this measurement compared against. `None`
+    /// for source-local steps and for per-source aggregates.
+    pub pair: Option<String>,
     /// Elapsed wall-clock time.
     pub elapsed: Duration,
     /// Number of output items produced (rows, relationships, links, ...).
     pub output_count: usize,
+    /// Attribute or candidate pairs compared (the pruning/blocking metric;
+    /// 0 where the step has no notion of compared pairs).
+    pub pairs_compared: usize,
+}
+
+impl StepTiming {
+    /// A source-local step timing (no pair).
+    pub fn local(source: impl Into<String>, step: impl Into<String>, elapsed: Duration) -> Self {
+        StepTiming {
+            source: source.into(),
+            step: step.into(),
+            pair: None,
+            elapsed,
+            output_count: 0,
+            pairs_compared: 0,
+        }
+    }
+
+    /// The `(source, step, pair)` identity of this measurement, used by the
+    /// determinism tests to compare runs without comparing wall-clock values.
+    pub fn key(&self) -> (&str, &str, Option<&str>) {
+        (&self.source, &self.step, self.pair.as_deref())
+    }
+}
+
+/// A per-step, per-pair metrics report over the whole integration run — the
+/// aggregate view of every recorded [`StepTiming`]. Built by
+/// [`MetadataRepository::metrics`] and surfaced through `Aladin::metrics` /
+/// `Warehouse::metrics`; the `exp_pipeline` experiment binary serializes it
+/// into `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineMetrics {
+    /// Every recorded measurement, in recording order.
+    pub timings: Vec<StepTiming>,
+}
+
+impl PipelineMetrics {
+    /// Total elapsed time across all measurements.
+    pub fn total_elapsed(&self) -> Duration {
+        self.timings.iter().map(|t| t.elapsed).sum()
+    }
+
+    /// Total elapsed time of one step across all sources and pairs.
+    pub fn step_elapsed(&self, step: &str) -> Duration {
+        self.timings
+            .iter()
+            .filter(|t| t.step == step)
+            .map(|t| t.elapsed)
+            .sum()
+    }
+
+    /// Total elapsed time spent integrating one source (all its steps).
+    pub fn source_elapsed(&self, source: &str) -> Duration {
+        self.timings
+            .iter()
+            .filter(|t| t.source == source)
+            .map(|t| t.elapsed)
+            .sum()
+    }
+
+    /// Distinct step names, in first-recorded order.
+    pub fn step_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.timings {
+            if !out.contains(&t.step.as_str()) {
+                out.push(&t.step);
+            }
+        }
+        out
+    }
+
+    /// The pairwise measurements (those carrying a pair), for one step.
+    pub fn pair_timings<'a>(&'a self, step: &'a str) -> impl Iterator<Item = &'a StepTiming> + 'a {
+        self.timings
+            .iter()
+            .filter(move |t| t.step == step && t.pair.is_some())
+    }
+
+    /// Total attribute/candidate pairs compared across all measurements.
+    pub fn total_pairs_compared(&self) -> usize {
+        self.timings.iter().map(|t| t.pairs_compared).sum()
+    }
 }
 
 /// One end of a link as seen from a given object: the object on the other
@@ -308,7 +395,11 @@ impl MetadataRepository {
             .retain(|l| l.from.source != source && l.to.source != source);
         self.duplicates
             .retain(|l| l.from.source != source && l.to.source != source);
-        self.timings.retain(|t| t.source != source);
+        // Pairwise measurements referencing the removed source describe
+        // discoveries that were just purged; keeping them would double-count
+        // the pair once the source is re-added.
+        self.timings
+            .retain(|t| t.source != source && t.pair.as_deref() != Some(source));
     }
 
     /// Store discovered object-level links.
@@ -388,6 +479,13 @@ impl MetadataRepository {
     pub fn timings(&self) -> &[StepTiming] {
         &self.timings
     }
+
+    /// The per-step, per-pair metrics report over every recorded timing.
+    pub fn metrics(&self) -> PipelineMetrics {
+        PipelineMetrics {
+            timings: self.timings.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -458,13 +556,83 @@ mod tests {
         repo.add_timing(StepTiming {
             source: "structdb".into(),
             step: "link discovery".into(),
+            pair: Some("protkb".into()),
             elapsed: Duration::from_millis(5),
             output_count: 1,
+            pairs_compared: 3,
         });
+        // A pairwise measurement of another source *against* structdb: its
+        // discoveries are purged with structdb, so the timing must go too.
+        repo.add_timing(StepTiming {
+            source: "protkb".into(),
+            step: "duplicate detection".into(),
+            pair: Some("structdb".into()),
+            elapsed: Duration::from_millis(2),
+            output_count: 0,
+            pairs_compared: 1,
+        });
+        repo.add_timing(StepTiming::local(
+            "protkb",
+            "structure discovery",
+            Duration::from_millis(1),
+        ));
         repo.remove_source("structdb");
         assert!(repo.structure("structdb").is_none());
         assert!(repo.links().is_empty());
-        assert!(repo.timings().is_empty());
+        // Only protkb's source-local measurement survives.
+        assert_eq!(repo.timings().len(), 1);
+        assert_eq!(
+            repo.timings()[0].key(),
+            ("protkb", "structure discovery", None)
+        );
+    }
+
+    #[test]
+    fn metrics_aggregate_per_step_and_per_pair() {
+        let mut repo = MetadataRepository::new();
+        repo.add_timing(StepTiming {
+            output_count: 4,
+            ..StepTiming::local("protkb", "structure discovery", Duration::from_millis(2))
+        });
+        repo.add_timing(StepTiming {
+            source: "structdb".into(),
+            step: "link discovery".into(),
+            pair: Some("protkb".into()),
+            elapsed: Duration::from_millis(7),
+            output_count: 12,
+            pairs_compared: 9,
+        });
+        repo.add_timing(StepTiming {
+            source: "structdb".into(),
+            step: "duplicate detection".into(),
+            pair: Some("protkb".into()),
+            elapsed: Duration::from_millis(1),
+            output_count: 0,
+            pairs_compared: 5,
+        });
+
+        let metrics = repo.metrics();
+        assert_eq!(metrics.total_elapsed(), Duration::from_millis(10));
+        assert_eq!(
+            metrics.step_elapsed("link discovery"),
+            Duration::from_millis(7)
+        );
+        assert_eq!(metrics.source_elapsed("structdb"), Duration::from_millis(8));
+        assert_eq!(
+            metrics.step_names(),
+            vec![
+                "structure discovery",
+                "link discovery",
+                "duplicate detection"
+            ]
+        );
+        assert_eq!(metrics.pair_timings("link discovery").count(), 1);
+        assert_eq!(metrics.pair_timings("structure discovery").count(), 0);
+        assert_eq!(metrics.total_pairs_compared(), 14);
+        assert_eq!(
+            metrics.timings[1].key(),
+            ("structdb", "link discovery", Some("protkb"))
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Scoped worker pool for the integration pipeline.
+//!
+//! The paper's process is embarrassingly parallel in two places: per-source
+//! analysis (steps 1–3 "do not involve data or metadata from other data
+//! sources") and the pairwise link/duplicate jobs of steps 4–5 (each pair of
+//! sources is compared independently). Both are fanned out here over
+//! [`std::thread::scope`] — no external thread-pool dependency — with results
+//! returned in job order, so the merged output is identical for every worker
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a configured worker count: `0` means the machine's available
+/// parallelism, and the count never exceeds the number of jobs.
+pub fn effective_workers(configured: usize, jobs: usize) -> usize {
+    let workers = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    workers.max(1).min(jobs.max(1))
+}
+
+/// Run `jobs` independent jobs with up to `workers` threads and return their
+/// results in job order. `f(i)` computes the result of job `i`; jobs are
+/// pulled from a shared atomic counter, so long jobs do not stall the queue.
+/// With one effective worker the jobs run inline on the caller's thread —
+/// the parallel path produces byte-identical results because each job is a
+/// pure function of its index and the slots are merged in index order.
+pub fn run_jobs<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_workers(workers, jobs);
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("job slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot lock")
+                .expect("every job index is visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_resolves_auto_and_clamps() {
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8] {
+            let got = run_jobs(workers, 37, |i| i * i);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_results() {
+        let got: Vec<usize> = run_jobs(4, 0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn jobs_actually_run_concurrently_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        run_jobs(4, 64, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        // At least one job ran somewhere (on a 1-CPU machine all four workers
+        // still exist; we only assert the pool executed every job).
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+}

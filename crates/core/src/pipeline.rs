@@ -5,6 +5,28 @@
 //! incrementally: analysing a new source "does not involve data or metadata
 //! from other data sources" (steps 1–3), and only link discovery and duplicate
 //! detection (steps 4–5) touch the already-integrated sources.
+//!
+//! # Figure 2 step map
+//!
+//! | Paper step | Code | Recorded as |
+//! |---|---|---|
+//! | 1. Import | `aladin_import::import_files` via [`Aladin::add_source_files`] | `"import"` |
+//! | 2. Primary objects (unique attributes, accessions, relationships, primary relation) | [`analyze_database`] → [`crate::unique`], [`crate::accession`], [`crate::relationships`], [`crate::primary`] | `"structure discovery"` |
+//! | 3. Secondary objects | [`analyze_database`] → [`crate::secondary`] | `"structure discovery"` |
+//! | 4. Link discovery (explicit + implicit) | [`crate::links`] per source pair | `"link discovery"` (one [`StepTiming`] per pair) |
+//! | 5. Duplicate detection | [`crate::duplicates`] per source pair | `"duplicate detection"` (one [`StepTiming`] per pair) |
+//!
+//! # Parallelism and determinism
+//!
+//! Steps 2–3 are source-local, so [`Aladin::add_databases`] analyses a batch
+//! of new sources concurrently; steps 4–5 decompose into independent
+//! pair jobs (the new source against each already-integrated source), which
+//! [`Aladin::add_database`] fans out over [`crate::parallel::run_jobs`] with
+//! [`AladinConfig::workers`] threads. Every pair job is a pure function of
+//! its inputs and the results are merged in a fixed order — source name,
+//! then pair, then row — so the metadata repository is identical for every
+//! worker count (the wall-clock values inside [`StepTiming`]s are the only
+//! thing that varies between runs).
 
 use crate::accession::detect_accession_candidates;
 use crate::config::AladinConfig;
@@ -14,7 +36,10 @@ use crate::links::explicit::discover_explicit_links;
 use crate::links::implicit::{
     discover_sequence_links, discover_shared_term_links, discover_text_links,
 };
-use crate::metadata::{Link, MetadataRepository, ObjectRef, SourceStructure, StepTiming};
+use crate::metadata::{
+    Link, MetadataRepository, ObjectRef, PipelineMetrics, SourceStructure, StepTiming,
+};
+use crate::parallel::run_jobs;
 use crate::primary::select_primary_relations;
 use crate::relationships::discover_relationships;
 use crate::secondary::discover_secondary_relations;
@@ -23,7 +48,7 @@ use aladin_import::{import_files, SourceFormat};
 use aladin_relstore::stats::profile_table;
 use aladin_relstore::Database;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 /// Number of sample values stored per column in the metadata repository.
@@ -85,14 +110,24 @@ pub struct IntegrationReport {
     pub duplicates: usize,
     /// Attribute pairs compared during link discovery (pruning metric).
     pub pairs_compared: usize,
-    /// Per-step wall-clock timings.
-    pub step_timings: Vec<(String, Duration)>,
+    /// Per-step aggregate timings for this source (pairwise steps summed over
+    /// all pairs; the per-pair breakdown lives in the metadata repository and
+    /// is surfaced via [`Aladin::metrics`]).
+    pub step_timings: Vec<StepTiming>,
 }
 
 impl IntegrationReport {
     /// Total elapsed time across all steps.
     pub fn total_elapsed(&self) -> Duration {
-        self.step_timings.iter().map(|(_, d)| *d).sum()
+        self.step_timings.iter().map(|t| t.elapsed).sum()
+    }
+
+    /// Elapsed time of one named step, if recorded.
+    pub fn step_elapsed(&self, step: &str) -> Option<Duration> {
+        self.step_timings
+            .iter()
+            .find(|t| t.step == step)
+            .map(|t| t.elapsed)
     }
 }
 
@@ -135,6 +170,102 @@ impl LinkDiscoveryPlan {
             duplicates: true,
         }
     }
+}
+
+/// Everything one pair job (the new source against one already-integrated
+/// source) discovered, plus its cost metrics. Jobs are independent, so the
+/// pipeline fans them out over worker threads and merges the outcomes in a
+/// fixed order.
+#[derive(Debug, Clone)]
+struct PairOutcome {
+    /// The already-integrated source this job compared against.
+    other: String,
+    explicit: Vec<Link>,
+    implicit: Vec<Link>,
+    duplicates: Vec<Link>,
+    /// Attribute pairs compared during explicit link discovery.
+    pairs_compared: usize,
+    /// Duplicate candidate pairs scored.
+    candidates_scored: usize,
+    link_elapsed: Duration,
+    duplicate_elapsed: Duration,
+}
+
+/// Steps 4 + 5 between the (already analysed) new source and one
+/// already-integrated source. Pure function of its inputs: no shared mutable
+/// state, so pair jobs can run on any thread in any order.
+fn discover_against(
+    db: &Database,
+    structure: &SourceStructure,
+    other_db: &Database,
+    other_structure: &SourceStructure,
+    plan: &LinkDiscoveryPlan,
+    config: &AladinConfig,
+) -> AladinResult<PairOutcome> {
+    let mut explicit: Vec<Link> = Vec::new();
+    let mut implicit: Vec<Link> = Vec::new();
+    let mut pairs_compared = 0usize;
+
+    let start = Instant::now();
+    if plan.explicit {
+        let out = discover_explicit_links(db, structure, other_db, other_structure, config)?;
+        pairs_compared += out.pairs_compared;
+        explicit.extend(out.links);
+        let out = discover_explicit_links(other_db, other_structure, db, structure, config)?;
+        pairs_compared += out.pairs_compared;
+        explicit.extend(out.links);
+    }
+    if plan.sequence {
+        implicit.extend(discover_sequence_links(
+            db,
+            structure,
+            other_db,
+            other_structure,
+            config,
+        )?);
+    }
+    if plan.text {
+        implicit.extend(discover_text_links(
+            db,
+            structure,
+            other_db,
+            other_structure,
+            config,
+        )?);
+    }
+    if plan.shared_terms {
+        implicit.extend(discover_shared_term_links(
+            db,
+            structure,
+            other_db,
+            other_structure,
+            config,
+        )?);
+    }
+    let link_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let mut duplicates: Vec<Link> = Vec::new();
+    let mut candidates_scored = 0usize;
+    if plan.duplicates {
+        // The explicit links discovered above all connect this very pair, so
+        // they are exactly the seeds the old sequential pipeline passed.
+        let outcome =
+            detect_duplicates(db, structure, other_db, other_structure, &explicit, config)?;
+        duplicates = outcome.links;
+        candidates_scored = outcome.candidates_scored;
+    }
+
+    Ok(PairOutcome {
+        other: other_db.name().to_string(),
+        explicit,
+        implicit,
+        duplicates,
+        pairs_compared,
+        candidates_scored,
+        link_elapsed,
+        duplicate_elapsed: start.elapsed(),
+    })
 }
 
 /// The ALADIN warehouse and integration pipeline.
@@ -204,118 +335,128 @@ impl Aladin {
         let start = Instant::now();
         let db = import_files(source_name, format, files)?;
         let import_elapsed = start.elapsed();
+        let rows = db.total_rows();
         let mut report = self.add_database(db)?;
-        report
-            .step_timings
-            .insert(0, ("import".to_string(), import_elapsed));
+        report.step_timings.insert(
+            0,
+            StepTiming {
+                output_count: rows,
+                ..StepTiming::local(source_name, "import", import_elapsed)
+            },
+        );
         Ok(report)
     }
 
     /// Integrate an already-imported relational database (steps 2–5).
     pub fn add_database(&mut self, db: Database) -> AladinResult<IntegrationReport> {
-        let name = db.name().to_string();
-        if self.warehouse.contains_key(&name) {
-            return Err(AladinError::DuplicateSource(name));
+        let mut reports = self.add_databases(vec![db])?;
+        Ok(reports.pop().expect("one report per database"))
+    }
+
+    /// Integrate a batch of already-imported relational databases (steps 2–5
+    /// for each), equivalent to calling [`Aladin::add_database`] for each in
+    /// order. The source-local analysis (steps 2–3) of all new sources runs
+    /// concurrently over [`AladinConfig::workers`] threads — the paper's
+    /// observation that analysing a new source "does not involve data or
+    /// metadata from other data sources" makes the batch embarrassingly
+    /// parallel — while links and duplicates are still discovered and merged
+    /// in input order, so the result is identical to sequential addition.
+    pub fn add_databases(&mut self, dbs: Vec<Database>) -> AladinResult<Vec<IntegrationReport>> {
+        // Reject name collisions (within the batch and against the
+        // warehouse) before any work. A collision therefore leaves the
+        // warehouse untouched; a discovery error mid-batch commits the
+        // sources integrated before it, exactly like sequential
+        // `add_database` calls would.
+        let mut batch_names: BTreeSet<String> = BTreeSet::new();
+        for db in &dbs {
+            if self.warehouse.contains_key(db.name()) || !batch_names.insert(db.name().to_string())
+            {
+                return Err(AladinError::DuplicateSource(db.name().to_string()));
+            }
         }
-        let mut timings: Vec<(String, Duration)> = Vec::new();
 
-        // Steps 2 + 3: source-local analysis.
-        let start = Instant::now();
-        let structure = analyze_database(&db, &self.config)?;
-        timings.push(("structure discovery".to_string(), start.elapsed()));
+        // Steps 2 + 3: source-local analysis, one job per new source.
+        let config = &self.config;
+        let analyses = run_jobs(config.workers, dbs.len(), |i| {
+            let start = Instant::now();
+            analyze_database(&dbs[i], config).map(|structure| (structure, start.elapsed()))
+        });
+        let mut analyzed: Vec<(SourceStructure, Duration)> = Vec::with_capacity(dbs.len());
+        for result in analyses {
+            analyzed.push(result?);
+        }
 
-        // Steps 4 + 5 against every already-integrated source.
+        // Steps 4 + 5 and commit, in input order.
+        dbs.into_iter()
+            .zip(analyzed)
+            .map(|(db, (structure, elapsed))| self.integrate_analyzed(db, structure, elapsed))
+            .collect()
+    }
+
+    /// Steps 4–5 for one analysed source, then the commit to the metadata
+    /// repository and the warehouse. Pair jobs (the new source against each
+    /// already-integrated source) run concurrently; outcomes are merged in
+    /// warehouse order (sorted by source name), each outcome's links already
+    /// being in a deterministic per-pair, per-row order.
+    fn integrate_analyzed(
+        &mut self,
+        db: Database,
+        structure: SourceStructure,
+        structure_elapsed: Duration,
+    ) -> AladinResult<IntegrationReport> {
+        let name = db.name().to_string();
+        let (config, plan, metadata) = (&self.config, self.plan, &self.metadata);
+        let others: Vec<(&String, &Database)> = self.warehouse.iter().collect();
+        let results = run_jobs(config.workers, others.len(), |i| {
+            let (other_name, other_db) = others[i];
+            let other_structure = metadata.structure(other_name).cloned().unwrap_or_default();
+            discover_against(&db, &structure, other_db, &other_structure, &plan, config)
+        });
+        let mut outcomes: Vec<PairOutcome> = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result?);
+        }
+
+        // Deterministic merge: outcomes arrive in warehouse (source-name)
+        // order regardless of which worker finished first.
         let mut explicit_links: Vec<Link> = Vec::new();
         let mut implicit_links: Vec<Link> = Vec::new();
         let mut duplicate_links: Vec<Link> = Vec::new();
         let mut pairs_compared = 0usize;
-
-        let start = Instant::now();
-        for (other_name, other_db) in &self.warehouse {
-            let other_structure = self
-                .metadata
-                .structure(other_name)
-                .cloned()
-                .unwrap_or_default();
-            if self.plan.explicit {
-                let out = discover_explicit_links(
-                    &db,
-                    &structure,
-                    other_db,
-                    &other_structure,
-                    &self.config,
-                )?;
-                pairs_compared += out.pairs_compared;
-                explicit_links.extend(out.links);
-                let out = discover_explicit_links(
-                    other_db,
-                    &other_structure,
-                    &db,
-                    &structure,
-                    &self.config,
-                )?;
-                pairs_compared += out.pairs_compared;
-                explicit_links.extend(out.links);
-            }
-            if self.plan.sequence {
-                implicit_links.extend(discover_sequence_links(
-                    &db,
-                    &structure,
-                    other_db,
-                    &other_structure,
-                    &self.config,
-                )?);
-            }
-            if self.plan.text {
-                implicit_links.extend(discover_text_links(
-                    &db,
-                    &structure,
-                    other_db,
-                    &other_structure,
-                    &self.config,
-                )?);
-            }
-            if self.plan.shared_terms {
-                implicit_links.extend(discover_shared_term_links(
-                    &db,
-                    &structure,
-                    other_db,
-                    &other_structure,
-                    &self.config,
-                )?);
-            }
+        let mut candidates_scored = 0usize;
+        let mut link_elapsed = Duration::ZERO;
+        let mut duplicate_elapsed = Duration::ZERO;
+        let mut pair_timings: Vec<StepTiming> = Vec::new();
+        for outcome in outcomes {
+            pairs_compared += outcome.pairs_compared;
+            candidates_scored += outcome.candidates_scored;
+            link_elapsed += outcome.link_elapsed;
+            duplicate_elapsed += outcome.duplicate_elapsed;
+            pair_timings.push(StepTiming {
+                source: name.clone(),
+                step: "link discovery".to_string(),
+                pair: Some(outcome.other.clone()),
+                elapsed: outcome.link_elapsed,
+                output_count: outcome.explicit.len() + outcome.implicit.len(),
+                pairs_compared: outcome.pairs_compared,
+            });
+            pair_timings.push(StepTiming {
+                source: name.clone(),
+                step: "duplicate detection".to_string(),
+                pair: Some(outcome.other),
+                elapsed: outcome.duplicate_elapsed,
+                output_count: outcome.duplicates.len(),
+                pairs_compared: outcome.candidates_scored,
+            });
+            explicit_links.extend(outcome.explicit);
+            implicit_links.extend(outcome.implicit);
+            duplicate_links.extend(outcome.duplicates);
         }
-        timings.push(("link discovery".to_string(), start.elapsed()));
 
-        let start = Instant::now();
-        if self.plan.duplicates {
-            for (other_name, other_db) in &self.warehouse {
-                let other_structure = self
-                    .metadata
-                    .structure(other_name)
-                    .cloned()
-                    .unwrap_or_default();
-                let seeds: Vec<Link> = explicit_links
-                    .iter()
-                    .filter(|l| {
-                        (l.from.source == name && l.to.source == *other_name)
-                            || (l.from.source == *other_name && l.to.source == name)
-                    })
-                    .cloned()
-                    .collect();
-                duplicate_links.extend(detect_duplicates(
-                    &db,
-                    &structure,
-                    other_db,
-                    &other_structure,
-                    &seeds,
-                    &self.config,
-                )?);
-            }
-        }
-        timings.push(("duplicate detection".to_string(), start.elapsed()));
-
-        // Commit to the metadata repository and the warehouse.
+        let structure_timing = StepTiming {
+            output_count: structure.relationships.len(),
+            ..StepTiming::local(name.clone(), "structure discovery", structure_elapsed)
+        };
         let report = IntegrationReport {
             source: name.clone(),
             tables: db.table_count(),
@@ -331,20 +472,25 @@ impl Aladin {
             implicit_links: implicit_links.len(),
             duplicates: duplicate_links.len(),
             pairs_compared,
-            step_timings: timings.clone(),
-        };
-        for (step, elapsed) in &timings {
-            self.metadata.add_timing(StepTiming {
-                source: name.clone(),
-                step: step.clone(),
-                elapsed: *elapsed,
-                output_count: match step.as_str() {
-                    "structure discovery" => structure.relationships.len(),
-                    "link discovery" => explicit_links.len() + implicit_links.len(),
-                    "duplicate detection" => duplicate_links.len(),
-                    _ => 0,
+            step_timings: vec![
+                structure_timing.clone(),
+                StepTiming {
+                    output_count: explicit_links.len() + implicit_links.len(),
+                    pairs_compared,
+                    ..StepTiming::local(name.clone(), "link discovery", link_elapsed)
                 },
-            });
+                StepTiming {
+                    output_count: duplicate_links.len(),
+                    pairs_compared: candidates_scored,
+                    ..StepTiming::local(name.clone(), "duplicate detection", duplicate_elapsed)
+                },
+            ],
+        };
+
+        // Commit to the metadata repository and the warehouse.
+        self.metadata.add_timing(structure_timing);
+        for timing in pair_timings {
+            self.metadata.add_timing(timing);
         }
         self.metadata.put_structure(structure);
         self.metadata.add_links(explicit_links);
@@ -352,6 +498,12 @@ impl Aladin {
         self.metadata.add_duplicates(duplicate_links);
         self.warehouse.insert(name, db);
         Ok(report)
+    }
+
+    /// The per-step, per-pair metrics report over everything integrated so
+    /// far (see [`PipelineMetrics`]).
+    pub fn metrics(&self) -> PipelineMetrics {
+        self.metadata.metrics()
     }
 
     /// Handle a changed source (Section 6.2's maintenance discussion): if the

@@ -36,7 +36,7 @@ pub struct CharClassProfile {
 }
 
 /// Statistics for a single column of a single table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnStats {
     /// Table name.
     pub table: String,

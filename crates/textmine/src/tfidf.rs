@@ -2,10 +2,16 @@
 
 use crate::tokenize::tokenize_without_stopwords;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A sparse TF-IDF vector: term → weight.
-pub type SparseVector = HashMap<String, f64>;
+///
+/// A `BTreeMap` rather than a `HashMap` on purpose: every accumulation over
+/// the vector (norms, dot products) then runs in key order, so similarity
+/// scores are bit-identical across runs, threads and vector instances —
+/// `HashMap` iteration order is seeded per instance, which made repeated
+/// pipeline runs differ in the last ulp of their link scores.
+pub type SparseVector = BTreeMap<String, f64>;
 
 /// A TF-IDF model fitted over a corpus of documents.
 ///
@@ -115,7 +121,14 @@ impl TfIdfModel {
             .map(|(id, v)| (id.clone(), cosine_similarity(&query, v)))
             .filter(|(_, s)| *s > 0.0)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Ties broken by document id: `self.vectors` is a HashMap whose
+        // iteration order is per-instance, so without the id tiebreak the
+        // top-k cut among equal scores would be nondeterministic.
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         scored.truncate(top_k);
         scored
     }
@@ -214,8 +227,8 @@ mod tests {
 
     #[test]
     fn cosine_handles_empty_vectors() {
-        let empty: SparseVector = HashMap::new();
-        let mut v: SparseVector = HashMap::new();
+        let empty: SparseVector = SparseVector::new();
+        let mut v: SparseVector = SparseVector::new();
         v.insert("x".into(), 1.0);
         assert_eq!(cosine_similarity(&empty, &v), 0.0);
         assert_eq!(cosine_similarity(&empty, &empty), 0.0);

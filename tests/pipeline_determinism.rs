@@ -1,0 +1,113 @@
+//! Determinism property: the parallel pipeline (workers = 1, 2, 8) produces a
+//! metadata repository equal to the sequential run on arbitrary generated
+//! worlds — same links, same duplicates, same structures, same set of
+//! recorded timing steps. Only the wall-clock values inside the timings may
+//! differ between runs.
+
+use aladin::core::config::DuplicateCandidates;
+use aladin::core::{Aladin, AladinConfig, MetadataRepository, SourceStructure};
+use aladin::datagen::{Corpus, CorpusConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn integrate(corpus: &Corpus, config: AladinConfig) -> MetadataRepository {
+    let dbs = corpus.import_all().expect("corpus imports cleanly");
+    let mut aladin = Aladin::new(config);
+    aladin.add_databases(dbs).expect("corpus integrates");
+    aladin.metadata().clone()
+}
+
+/// The `(source, step, pair)` identity of every recorded timing.
+fn step_set(repo: &MetadataRepository) -> BTreeSet<(String, String, Option<String>)> {
+    repo.timings()
+        .iter()
+        .map(|t| (t.source.clone(), t.step.clone(), t.pair.clone()))
+        .collect()
+}
+
+fn assert_equivalent(sequential: &MetadataRepository, parallel: &MetadataRepository, label: &str) {
+    assert_eq!(
+        sequential.links(),
+        parallel.links(),
+        "{label}: links differ"
+    );
+    assert_eq!(
+        sequential.duplicates(),
+        parallel.duplicates(),
+        "{label}: duplicates differ"
+    );
+    let seq_structures: Vec<&SourceStructure> = sequential.structures().collect();
+    let par_structures: Vec<&SourceStructure> = parallel.structures().collect();
+    assert_eq!(seq_structures, par_structures, "{label}: structures differ");
+    assert_eq!(
+        step_set(sequential),
+        step_set(parallel),
+        "{label}: timing step sets differ"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_pipeline_equals_sequential_on_arbitrary_worlds(
+        seed in 0u64..10_000,
+        n_proteins in 8usize..28,
+        n_families in 2usize..6,
+        archive_overlap in 0.0f64..1.0,
+        structure_fraction in 0.0f64..0.8,
+        missing_xref_rate in 0.0f64..0.6,
+        three_flavours in 0u8..2,
+        exhaustive in 0u8..2,
+    ) {
+        let corpus_config = CorpusConfig {
+            seed,
+            n_proteins,
+            n_families,
+            archive_overlap,
+            structure_fraction,
+            missing_xref_rate,
+            three_flavour_structures: three_flavours == 1,
+            ..CorpusConfig::small(seed)
+        };
+        let corpus = Corpus::generate(&corpus_config);
+        let config = AladinConfig {
+            duplicate_candidate_mode: if exhaustive == 1 {
+                DuplicateCandidates::Exhaustive
+            } else {
+                DuplicateCandidates::Blocked
+            },
+            link_min_matches: 1,
+            ..AladinConfig::default()
+        };
+
+        let sequential = integrate(&corpus, config.clone().with_workers(1));
+        for workers in [2usize, 8] {
+            let parallel = integrate(&corpus, config.clone().with_workers(workers));
+            assert_equivalent(&sequential, &parallel, &format!("workers={workers}"));
+        }
+    }
+}
+
+/// Batch addition through `add_databases` matches one-by-one addition through
+/// `add_database`, for several worker counts.
+#[test]
+fn batch_addition_matches_incremental_addition() {
+    let corpus = Corpus::generate(&CorpusConfig::small(77));
+    let dbs = || corpus.import_all().expect("corpus imports cleanly");
+
+    let mut one_by_one = Aladin::new(AladinConfig::default().with_workers(1));
+    for db in dbs() {
+        one_by_one.add_database(db).unwrap();
+    }
+
+    for workers in [1usize, 2, 8] {
+        let mut batched = Aladin::new(AladinConfig::default().with_workers(workers));
+        batched.add_databases(dbs()).unwrap();
+        assert_equivalent(
+            one_by_one.metadata(),
+            batched.metadata(),
+            &format!("batch workers={workers}"),
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Ground-truth harness for the integration pipeline (the paper's Section 5
+//! "learning test set" idea): generate a multi-source world with `datagen`,
+//! run the full pipeline, and assert precision/recall floors via `core::eval`
+//! for primary relations, explicit links and duplicates — on both the blocked
+//! and the exhaustive duplicate candidate paths.
+
+use aladin::core::config::DuplicateCandidates;
+use aladin::core::eval::{evaluate_links, evaluate_structure, ExpectedTruth, LinkEvaluation};
+use aladin::core::{Aladin, AladinConfig, LinkKind};
+use aladin::datagen::{Corpus, CorpusConfig, GroundTruth};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Convert the generator's ground truth into the evaluator's plain-data form,
+/// closed over duplicate equivalence: if objects X and Y are recorded
+/// duplicates, then every true link to X is also a true link to Y (the
+/// COLUMBA-style reference database describes *real-world* objects, so a
+/// discovered cross-reference into any database copy of the object is
+/// correct), the members of an equivalence class are true links of each
+/// other, and every cross-source pair within a class is a true duplicate
+/// (the raw generator truth records the structure flavours only against the
+/// original, not flavour-vs-flavour).
+fn expected_truth(truth: &GroundTruth) -> ExpectedTruth {
+    type Obj = (String, String);
+    // Union-find over (source, accession) objects named in duplicate pairs.
+    let mut parent: BTreeMap<Obj, Obj> = BTreeMap::new();
+    fn find(
+        parent: &mut BTreeMap<(String, String), (String, String)>,
+        x: &(String, String),
+    ) -> (String, String) {
+        let p = match parent.get(x) {
+            Some(p) if p != x => p.clone(),
+            _ => return x.clone(),
+        };
+        let root = find(parent, &p);
+        parent.insert(x.clone(), root.clone());
+        root
+    }
+    for d in &truth.duplicates {
+        let a = (d.source_a.clone(), d.accession_a.clone());
+        let b = (d.source_b.clone(), d.accession_b.clone());
+        parent.entry(a.clone()).or_insert_with(|| a.clone());
+        parent.entry(b.clone()).or_insert_with(|| b.clone());
+        let (ra, rb) = (find(&mut parent, &a), find(&mut parent, &b));
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    }
+    // Members of every equivalence class (objects not in any duplicate pair
+    // form implicit singleton classes and need no entry).
+    let members: Vec<Obj> = parent.keys().cloned().collect();
+    let mut classes: BTreeMap<Obj, Vec<Obj>> = BTreeMap::new();
+    for m in &members {
+        let root = find(&mut parent, m);
+        classes.entry(root).or_default().push(m.clone());
+    }
+    let equivalents = |obj: &Obj, parent: &mut BTreeMap<Obj, Obj>| -> Vec<Obj> {
+        if parent.contains_key(obj) {
+            classes[&find(parent, obj)].clone()
+        } else {
+            vec![obj.clone()]
+        }
+    };
+
+    // Links, expanded over both endpoints' equivalence classes.
+    let mut links: BTreeSet<(String, String, String, String, bool)> = BTreeSet::new();
+    for l in &truth.links {
+        let from = (l.from_source.clone(), l.from_accession.clone());
+        let to = (l.to_source.clone(), l.to_accession.clone());
+        for f in equivalents(&from, &mut parent) {
+            for t in equivalents(&to, &mut parent) {
+                links.insert((
+                    f.0.clone(),
+                    f.1.clone(),
+                    t.0.clone(),
+                    t.1.clone(),
+                    l.explicit,
+                ));
+            }
+        }
+    }
+    // Intra-class pairs: duplicates reference each other in the data (the
+    // archive's uniprot_ref, equal flavour accessions), so they are true
+    // links too — and every cross-source pair is a true duplicate.
+    let mut duplicates: BTreeSet<(String, String, String, String)> = BTreeSet::new();
+    for class in classes.values() {
+        for (i, a) in class.iter().enumerate() {
+            for b in class.iter().skip(i + 1) {
+                links.insert((a.0.clone(), a.1.clone(), b.0.clone(), b.1.clone(), false));
+                duplicates.insert((a.0.clone(), a.1.clone(), b.0.clone(), b.1.clone()));
+            }
+        }
+    }
+
+    ExpectedTruth {
+        sources: truth
+            .sources
+            .iter()
+            .map(|s| {
+                (
+                    s.source.clone(),
+                    s.primary_tables.clone(),
+                    s.accession_columns.clone(),
+                    s.secondary_tables.clone(),
+                )
+            })
+            .collect(),
+        links: links.into_iter().collect(),
+        duplicates: duplicates.into_iter().collect(),
+    }
+}
+
+/// The duplicate-heavy multi-source world the harness scores against: a
+/// solid archive overlap plus the three-flavour structure databases.
+fn world() -> Corpus {
+    let mut config = CorpusConfig::small(2026);
+    config.archive_overlap = 0.7;
+    config.structure_fraction = 0.5;
+    config.three_flavour_structures = true;
+    Corpus::generate(&config)
+}
+
+fn integrate(corpus: &Corpus, config: AladinConfig) -> Aladin {
+    let dbs = corpus.import_all().expect("corpus imports cleanly");
+    let mut aladin = Aladin::new(config);
+    aladin.add_databases(dbs).expect("corpus integrates");
+    aladin
+}
+
+/// Assert the harness floors for one integrated warehouse.
+fn assert_floors(aladin: &Aladin, truth: &ExpectedTruth, label: &str) -> LinkEvaluation {
+    // Primary relations: correct for the large majority of sources.
+    let structure = evaluate_structure(aladin, truth);
+    assert_eq!(structure.len(), truth.sources.len(), "{label}");
+    let primary_correct = structure.iter().filter(|e| e.primary_correct).count();
+    assert!(
+        primary_correct * 10 >= structure.len() * 7,
+        "{label}: primary relations correct for only {primary_correct}/{}",
+        structure.len()
+    );
+    let accession_correct = structure.iter().filter(|e| e.accession_correct).count();
+    assert!(
+        accession_correct * 10 >= structure.len() * 7,
+        "{label}: accession columns correct for only {accession_correct}/{}",
+        structure.len()
+    );
+
+    // Explicit links: high precision, reasonable recall. The recall
+    // denominator includes links that are *never* emitted explicitly
+    // (protein→taxon, the withheld backlog, and the duplicate-closure
+    // expansion over the structure flavours), so the floor sits below the
+    // 0.5 the raw-truth test in `full_pipeline.rs` uses.
+    let links = evaluate_links(aladin, truth);
+    assert!(
+        links.explicit_links.precision() >= 0.8,
+        "{label}: explicit link precision {:.2}",
+        links.explicit_links.precision()
+    );
+    assert!(
+        links.explicit_links.recall() >= 0.4,
+        "{label}: explicit link recall {:.2}",
+        links.explicit_links.recall()
+    );
+
+    // Duplicates: the archive overlap and the structure flavours must be
+    // found with decent precision and recall.
+    assert!(
+        links.duplicates.precision() >= 0.5,
+        "{label}: duplicate precision {:.2}",
+        links.duplicates.precision()
+    );
+    assert!(
+        links.duplicates.recall() >= 0.5,
+        "{label}: duplicate recall {:.2}",
+        links.duplicates.recall()
+    );
+    links
+}
+
+#[test]
+fn ground_truth_floors_hold_for_blocked_duplicates() {
+    let corpus = world();
+    let truth = expected_truth(&corpus.truth);
+    let aladin = integrate(
+        &corpus,
+        AladinConfig {
+            duplicate_candidate_mode: DuplicateCandidates::Blocked,
+            ..AladinConfig::default()
+        },
+    );
+    assert!(!corpus.truth.duplicates.is_empty());
+    assert_floors(&aladin, &truth, "blocked");
+}
+
+#[test]
+fn ground_truth_floors_hold_for_exhaustive_duplicates() {
+    let corpus = world();
+    let truth = expected_truth(&corpus.truth);
+    let aladin = integrate(&corpus, AladinConfig::with_exhaustive_duplicates());
+    assert_floors(&aladin, &truth, "exhaustive");
+}
+
+/// Regression pin: on the datagen world, blocking never drops a duplicate
+/// pair the exhaustive path reports above the threshold — the blocked
+/// candidate set must cover every exhaustive finding (it may add more).
+#[test]
+fn blocking_never_drops_an_exhaustive_duplicate() {
+    let corpus = world();
+    let exhaustive = integrate(&corpus, AladinConfig::with_exhaustive_duplicates());
+    let blocked = integrate(&corpus, AladinConfig::default());
+
+    let pair_set = |aladin: &Aladin| -> BTreeSet<(String, String, String, String)> {
+        aladin
+            .metadata()
+            .duplicates()
+            .iter()
+            .map(|l| {
+                (
+                    l.from.source.clone(),
+                    l.from.accession.clone(),
+                    l.to.source.clone(),
+                    l.to.accession.clone(),
+                )
+            })
+            .collect()
+    };
+    let exhaustive_pairs = pair_set(&exhaustive);
+    let blocked_pairs = pair_set(&blocked);
+    assert!(!exhaustive_pairs.is_empty());
+    let dropped: Vec<_> = exhaustive_pairs.difference(&blocked_pairs).collect();
+    assert!(
+        dropped.is_empty(),
+        "blocking dropped {} of {} exhaustive duplicates, e.g. {:?}",
+        dropped.len(),
+        exhaustive_pairs.len(),
+        dropped.first()
+    );
+}
+
+/// The per-pair metrics surfaced by the pipeline cover every source pair of
+/// steps 4–5 and account for the candidate pruning the blocked mode does.
+#[test]
+fn metrics_report_covers_every_pair() {
+    let corpus = world();
+    let aladin = integrate(&corpus, AladinConfig::default());
+    let metrics = aladin.metrics();
+
+    let n = corpus.sources.len();
+    // Each newly added source is compared against every earlier source once:
+    // n*(n-1)/2 pairs for both pairwise steps.
+    assert_eq!(
+        metrics.pair_timings("duplicate detection").count(),
+        n * (n - 1) / 2
+    );
+    assert_eq!(
+        metrics.pair_timings("link discovery").count(),
+        n * (n - 1) / 2
+    );
+    // Every source has a structure-discovery measurement and a total.
+    for dump in &corpus.sources {
+        assert!(metrics.source_elapsed(&dump.name) > std::time::Duration::ZERO);
+    }
+    assert!(metrics.step_names().contains(&"structure discovery"));
+    assert!(metrics.total_pairs_compared() > 0);
+
+    // Explicit links found by the pipeline are all real discovered links.
+    assert!(aladin
+        .metadata()
+        .links()
+        .iter()
+        .any(|l| l.kind == LinkKind::ExplicitCrossRef));
+}
