@@ -52,17 +52,17 @@ use crate::access::browse::{
 };
 use crate::access::query::{build_join_path_plan, cross_source_over, run_sql};
 use crate::access::search::{ObjectHit, SearchIndex};
-use crate::config::AladinConfig;
+use crate::config::{AladinConfig, BatchErrorPolicy};
 use crate::error::{AladinError, AladinResult};
 use crate::metadata::{LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PipelineMetrics};
-use crate::pipeline::{Aladin, IntegrationReport, LinkDiscoveryPlan};
+use crate::pipeline::{Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan};
 use aladin_import::SourceFormat;
 use aladin_relstore::expr::like_match;
 use aladin_relstore::plan::SortKey;
 use aladin_relstore::{Database, Expr, LogicalPlan, Table, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Default number of ranked hits a search-rooted [`ObjectQuery`] starts from.
 const DEFAULT_SEARCH_LIMIT: usize = 50;
@@ -222,6 +222,17 @@ impl Warehouse {
         self.aladin.add_databases(dbs)
     }
 
+    /// Integrate a batch under an explicit error policy, reporting a
+    /// per-source outcome instead of failing the whole call (see
+    /// [`crate::pipeline::Aladin::add_databases_with`]).
+    pub fn add_databases_with(
+        &mut self,
+        dbs: Vec<Database>,
+        policy: BatchErrorPolicy,
+    ) -> AladinResult<BatchReport> {
+        self.aladin.add_databases_with(dbs, policy)
+    }
+
     /// Import and integrate a source given as raw files.
     pub fn add_source_files(
         &mut self,
@@ -254,13 +265,22 @@ impl Warehouse {
     /// were last built.
     fn caches(&self) -> AladinResult<Arc<AccessCaches>> {
         let generation = self.aladin.metadata().generation();
-        if let Some(caches) = self.caches.read().expect("cache lock").as_ref() {
+        // The caches are a pure function of the pipeline state, so a lock
+        // poisoned by a panicking reader holds nothing corrupt — tolerate it
+        // (and rebuild below if the stored value is stale) rather than
+        // cascade the panic into every later access.
+        if let Some(caches) = self
+            .caches
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
             if caches.generation == generation {
                 return Ok(Arc::clone(caches));
             }
         }
         let built = Arc::new(AccessCaches::build(&self.aladin)?);
-        *self.caches.write().expect("cache lock") = Some(Arc::clone(&built));
+        *self.caches.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&built));
         Ok(built)
     }
 
@@ -275,7 +295,7 @@ impl Warehouse {
     pub fn cached_generation(&self) -> Option<u64> {
         self.caches
             .read()
-            .expect("cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map(|c| c.generation)
     }

@@ -78,6 +78,54 @@ impl PruningConfig {
     }
 }
 
+/// Error-handling policy of a batch integration
+/// ([`crate::pipeline::Aladin::add_databases_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchErrorPolicy {
+    /// The first failing source aborts the whole batch and the warehouse is
+    /// left exactly as before the call (all-or-nothing).
+    FailFast,
+    /// A failing source is quarantined: the rest of the batch is integrated
+    /// and the per-source outcomes are reported.
+    ContinueOnError,
+}
+
+/// Deterministic fault injection for the integration pipeline, used by the
+/// fault-tolerance test harness. All fields are plain data (source names and
+/// source pairs), so the config stays serializable and comparable; an empty
+/// injection (the default) is completely inert.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Per-source analysis (steps 1–3) of these sources fails with a
+    /// discovery error.
+    pub fail_analysis: Vec<String>,
+    /// Per-source analysis of these sources panics inside its job.
+    pub panic_analysis: Vec<String>,
+    /// Pairwise link/duplicate jobs over these (unordered) source pairs fail
+    /// with a discovery error.
+    pub fail_pairs: Vec<(String, String)>,
+    /// Pairwise link/duplicate jobs over these (unordered) source pairs
+    /// panic inside their job.
+    pub panic_pairs: Vec<(String, String)>,
+}
+
+impl FaultInjection {
+    /// True when no fault is configured.
+    pub fn is_inert(&self) -> bool {
+        self.fail_analysis.is_empty()
+            && self.panic_analysis.is_empty()
+            && self.fail_pairs.is_empty()
+            && self.panic_pairs.is_empty()
+    }
+
+    /// True when `pairs` contains `(a, b)` in either order.
+    pub fn pair_listed(pairs: &[(String, String)], a: &str, b: &str) -> bool {
+        pairs
+            .iter()
+            .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
 /// Configuration of all discovery heuristics, with the paper's thresholds as
 /// defaults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -167,6 +215,23 @@ pub struct AladinConfig {
     /// Fraction of changed rows in a source above which a full re-analysis is
     /// triggered (Section 6.2's change threshold).
     pub refresh_change_threshold: f64,
+
+    // -- fault tolerance --
+    /// Error-handling policy of batch integrations; `FailFast` keeps the
+    /// historical all-or-nothing behaviour.
+    pub batch_policy: BatchErrorPolicy,
+    /// Malformed records tolerated (and quarantined) per source during
+    /// import; `0` fails the source on the first malformed record.
+    pub import_error_budget: usize,
+    /// Fetch attempts per file for the source-reading layer (1 = no
+    /// retries).
+    pub import_retry_attempts: usize,
+    /// Base backoff in milliseconds between fetch retries (retry `n` sleeps
+    /// `n * base`).
+    pub import_retry_backoff_ms: u64,
+    /// Deterministic fault injection for tests and the fault harness; inert
+    /// by default.
+    pub faults: FaultInjection,
 }
 
 impl Default for AladinConfig {
@@ -196,6 +261,11 @@ impl Default for AladinConfig {
             duplicate_window: 8,
             workers: 0,
             refresh_change_threshold: 0.1,
+            batch_policy: BatchErrorPolicy::FailFast,
+            import_error_budget: 0,
+            import_retry_attempts: 3,
+            import_retry_backoff_ms: 10,
+            faults: FaultInjection::default(),
         }
     }
 }
@@ -223,6 +293,29 @@ impl AladinConfig {
     pub fn with_workers(mut self, workers: usize) -> AladinConfig {
         self.workers = workers;
         self
+    }
+
+    /// This configuration with the given batch error policy.
+    pub fn with_batch_policy(mut self, policy: BatchErrorPolicy) -> AladinConfig {
+        self.batch_policy = policy;
+        self
+    }
+
+    /// This configuration with the given import error budget.
+    pub fn with_import_error_budget(mut self, budget: usize) -> AladinConfig {
+        self.import_error_budget = budget;
+        self
+    }
+
+    /// The import options implied by this configuration.
+    pub fn import_options(&self) -> aladin_import::ImportOptions {
+        aladin_import::ImportOptions {
+            error_budget: self.import_error_budget,
+            retry: aladin_import::RetryPolicy {
+                max_attempts: self.import_retry_attempts.max(1),
+                base_backoff: std::time::Duration::from_millis(self.import_retry_backoff_ms),
+            },
+        }
     }
 }
 
@@ -269,5 +362,34 @@ mod tests {
             DuplicateCandidates::Exhaustive
         );
         assert_eq!(AladinConfig::default().with_workers(4).workers, 4);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_are_strict_and_inert() {
+        let c = AladinConfig::default();
+        assert_eq!(c.batch_policy, BatchErrorPolicy::FailFast);
+        assert_eq!(c.import_error_budget, 0);
+        assert!(c.faults.is_inert());
+        let opts = c.import_options();
+        assert_eq!(opts.error_budget, 0);
+        assert_eq!(opts.retry.max_attempts, 3);
+
+        let tolerant = c
+            .with_batch_policy(BatchErrorPolicy::ContinueOnError)
+            .with_import_error_budget(5);
+        assert_eq!(tolerant.batch_policy, BatchErrorPolicy::ContinueOnError);
+        assert_eq!(tolerant.import_options().error_budget, 5);
+    }
+
+    #[test]
+    fn fault_injection_pair_matching_is_unordered() {
+        let pairs = vec![("a".to_string(), "b".to_string())];
+        assert!(FaultInjection::pair_listed(&pairs, "a", "b"));
+        assert!(FaultInjection::pair_listed(&pairs, "b", "a"));
+        assert!(!FaultInjection::pair_listed(&pairs, "a", "c"));
+        let mut f = FaultInjection::default();
+        assert!(f.is_inert());
+        f.panic_pairs = pairs;
+        assert!(!f.is_inert());
     }
 }

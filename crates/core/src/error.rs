@@ -4,8 +4,25 @@ use aladin_import::ImportError;
 use aladin_relstore::RelError;
 use std::fmt;
 
+/// One source that failed during a batch integration, with the error that
+/// took it down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFailure {
+    /// Name of the failed source.
+    pub source: String,
+    /// The error that caused the failure.
+    pub error: Box<AladinError>,
+}
+
+impl fmt::Display for SourceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.source, self.error)
+    }
+}
+
 /// Errors produced by the ALADIN pipeline and access engine.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AladinError {
     /// Error from the relational substrate.
     Storage(RelError),
@@ -19,6 +36,14 @@ pub enum AladinError {
     Discovery(String),
     /// A source with the same name is already integrated.
     DuplicateSource(String),
+    /// A source was quarantined during a continue-on-error batch: its
+    /// integration failed, the rest of the batch proceeded without it.
+    Quarantined(SourceFailure),
+    /// A batch integration completed for some sources but not all of them.
+    PartialIntegration {
+        /// The sources that failed, in batch order, each with its error.
+        failures: Vec<SourceFailure>,
+    },
 }
 
 impl fmt::Display for AladinError {
@@ -30,11 +55,37 @@ impl fmt::Display for AladinError {
             AladinError::UnknownObject(s) => write!(f, "unknown object: {s}"),
             AladinError::Discovery(m) => write!(f, "discovery failed: {m}"),
             AladinError::DuplicateSource(s) => write!(f, "source already integrated: {s}"),
+            AladinError::Quarantined(failure) => {
+                write!(f, "source quarantined: {failure}")
+            }
+            AladinError::PartialIntegration { failures } => {
+                write!(
+                    f,
+                    "partial integration: {} source(s) failed",
+                    failures.len()
+                )?;
+                for failure in failures {
+                    write!(f, "; {failure}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl std::error::Error for AladinError {}
+impl std::error::Error for AladinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AladinError::Storage(e) => Some(e),
+            AladinError::Import(e) => Some(e),
+            AladinError::Quarantined(failure) => Some(failure.error.as_ref()),
+            AladinError::PartialIntegration { failures } => failures
+                .first()
+                .map(|f| f.error.as_ref() as &(dyn std::error::Error + 'static)),
+            _ => None,
+        }
+    }
+}
 
 impl From<RelError> for AladinError {
     fn from(e: RelError) -> Self {
@@ -54,6 +105,7 @@ pub type AladinResult<T> = Result<T, AladinError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn conversions_and_display() {
@@ -69,5 +121,36 @@ mod tests {
             AladinError::DuplicateSource("s".into()).to_string(),
             "source already integrated: s"
         );
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        let e: AladinError = RelError::UnknownTable("t".into()).into();
+        assert!(e.source().is_some());
+        let e: AladinError = ImportError::Malformed("x".into()).into();
+        assert!(e.source().unwrap().to_string().contains("malformed"));
+        assert!(AladinError::UnknownSource("s".into()).source().is_none());
+    }
+
+    #[test]
+    fn quarantined_and_partial_integration_carry_per_source_detail() {
+        let failure = SourceFailure {
+            source: "genedb".into(),
+            error: Box::new(AladinError::Import(ImportError::BudgetExceeded {
+                quarantined: 7,
+                budget: 3,
+            })),
+        };
+        let q = AladinError::Quarantined(failure.clone());
+        assert!(q.to_string().contains("genedb"));
+        assert!(q.to_string().contains("budget 3"));
+        assert!(q.source().unwrap().to_string().contains("error budget"));
+
+        let p = AladinError::PartialIntegration {
+            failures: vec![failure],
+        };
+        assert!(p.to_string().contains("1 source(s) failed"));
+        assert!(p.to_string().contains("genedb"));
+        assert!(p.source().is_some());
     }
 }

@@ -35,6 +35,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 pub mod access;
 pub mod accession;
@@ -52,10 +54,11 @@ pub mod secondary;
 pub mod unique;
 
 pub use access::{ObjectQuery, ObjectRecord, Warehouse};
-pub use config::{AladinConfig, DuplicateCandidates};
-pub use error::{AladinError, AladinResult};
+pub use config::{AladinConfig, BatchErrorPolicy, DuplicateCandidates, FaultInjection};
+pub use error::{AladinError, AladinResult, SourceFailure};
 pub use metadata::{
-    Link, LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PipelineMetrics, SourceStructure,
-    StepTiming,
+    Link, LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PairFailure, PipelineMetrics,
+    SourceStructure, StepTiming,
 };
-pub use pipeline::{Aladin, IntegrationReport, LinkDiscoveryPlan};
+pub use parallel::JobPanic;
+pub use pipeline::{Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan, SourceOutcome};

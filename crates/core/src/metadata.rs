@@ -237,6 +237,32 @@ impl StepTiming {
     }
 }
 
+/// A contained failure of one pairwise discovery job: the pair was skipped
+/// (its links and duplicates were not produced) but the integration run went
+/// on. Produced by panic isolation and fault injection in the pipeline and
+/// kept in the repository so operators can see which pairs need a re-run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairFailure {
+    /// The source that was being integrated.
+    pub source: String,
+    /// The already-integrated source the failed job compared against.
+    pub pair: String,
+    /// The pipeline step that failed ("link/duplicate discovery").
+    pub step: String,
+    /// The rendered error or panic message.
+    pub error: String,
+}
+
+impl fmt::Display for PairFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {} failed: {}",
+            self.source, self.pair, self.step, self.error
+        )
+    }
+}
+
 /// A per-step, per-pair metrics report over the whole integration run — the
 /// aggregate view of every recorded [`StepTiming`]. Built by
 /// [`MetadataRepository::metrics`] and surfaced through `Aladin::metrics` /
@@ -246,6 +272,8 @@ impl StepTiming {
 pub struct PipelineMetrics {
     /// Every recorded measurement, in recording order.
     pub timings: Vec<StepTiming>,
+    /// Every contained pairwise-job failure, in recording order.
+    pub failures: Vec<PairFailure>,
 }
 
 impl PipelineMetrics {
@@ -345,6 +373,7 @@ pub struct MetadataRepository {
     links: Vec<Link>,
     duplicates: Vec<Link>,
     timings: Vec<StepTiming>,
+    failures: Vec<PairFailure>,
     /// Monotone counter bumped by every structural mutation; cached access
     /// structures (search index, adjacency map) compare it to decide whether
     /// they are stale.
@@ -400,6 +429,8 @@ impl MetadataRepository {
         // the pair once the source is re-added.
         self.timings
             .retain(|t| t.source != source && t.pair.as_deref() != Some(source));
+        self.failures
+            .retain(|f| f.source != source && f.pair != source);
     }
 
     /// Store discovered object-level links.
@@ -480,10 +511,21 @@ impl MetadataRepository {
         &self.timings
     }
 
+    /// Record a contained pairwise-job failure.
+    pub fn add_failure(&mut self, failure: PairFailure) {
+        self.failures.push(failure);
+    }
+
+    /// All contained pairwise-job failures.
+    pub fn failures(&self) -> &[PairFailure] {
+        &self.failures
+    }
+
     /// The per-step, per-pair metrics report over every recorded timing.
     pub fn metrics(&self) -> PipelineMetrics {
         PipelineMetrics {
             timings: self.timings.clone(),
+            failures: self.failures.clone(),
         }
     }
 }
@@ -708,6 +750,36 @@ mod tests {
         assert_eq!(adjacency.neighbours(&back)[0].object, p1);
         let nobody = ObjectRef::new("protkb", "protkb_entry", "P9");
         assert!(adjacency.neighbours(&nobody).is_empty());
+    }
+
+    #[test]
+    fn pair_failures_are_recorded_surfaced_and_purged_with_their_sources() {
+        let mut repo = MetadataRepository::new();
+        repo.add_failure(PairFailure {
+            source: "structdb".into(),
+            pair: "protkb".into(),
+            step: "link/duplicate discovery".into(),
+            error: "job panicked".into(),
+        });
+        repo.add_failure(PairFailure {
+            source: "genedb".into(),
+            pair: "ontodb".into(),
+            step: "link/duplicate discovery".into(),
+            error: "injected".into(),
+        });
+        assert_eq!(repo.failures().len(), 2);
+        assert!(repo.failures()[0]
+            .to_string()
+            .contains("structdb vs protkb"));
+
+        let metrics = repo.metrics();
+        assert_eq!(metrics.failures.len(), 2);
+
+        // Removing either side of a pair purges its failure record.
+        repo.remove_source("protkb");
+        assert_eq!(repo.failures().len(), 1);
+        repo.remove_source("genedb");
+        assert!(repo.failures().is_empty());
     }
 
     #[test]

@@ -7,9 +7,47 @@
 //! [`std::thread::scope`] — no external thread-pool dependency — with results
 //! returned in job order, so the merged output is identical for every worker
 //! count.
+//!
+//! Every job runs under [`std::panic::catch_unwind`]: a panicking job is
+//! converted into a [`JobPanic`] in its result slot instead of unwinding
+//! through (and killing) the worker thread, so one poisoned pair job cannot
+//! take the whole integration run down. The inline single-worker path
+//! catches panics the same way, keeping behaviour identical for every worker
+//! count.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// A panic captured from one job of the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub job: usize,
+    /// The panic payload rendered as text (when it was a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Render a panic payload: `&str` and `String` payloads (the overwhelmingly
+/// common cases from `panic!`/`assert!`) pass through, anything else gets a
+/// placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolve a configured worker count: `0` means the machine's available
 /// parallelism, and the count never exceeds the number of jobs.
@@ -30,17 +68,27 @@ pub fn effective_workers(configured: usize, jobs: usize) -> usize {
 /// With one effective worker the jobs run inline on the caller's thread —
 /// the parallel path produces byte-identical results because each job is a
 /// pure function of its index and the slots are merged in index order.
-pub fn run_jobs<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+///
+/// A job that panics yields `Err(JobPanic)` in its slot; all other jobs
+/// still run and return their results.
+pub fn run_jobs<T, F>(workers: usize, jobs: usize, f: F) -> Vec<Result<T, JobPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let run_one = |i: usize| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| JobPanic {
+            job: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     let workers = effective_workers(workers, jobs);
     if workers <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -48,8 +96,11 @@ where
                 if i >= jobs {
                     break;
                 }
-                let result = f(i);
-                *slots[i].lock().expect("job slot lock") = Some(result);
+                let result = run_one(i);
+                // catch_unwind already contained any panic, so the lock can
+                // only be poisoned by another slot's writer being killed
+                // mid-store — tolerate it rather than cascade.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -57,8 +108,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("job slot lock")
-                .expect("every job index is visited exactly once")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| unreachable!("every job index is visited exactly once"))
         })
         .collect()
 }
@@ -79,14 +130,17 @@ mod tests {
     fn results_are_in_job_order_for_any_worker_count() {
         let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
         for workers in [1, 2, 3, 8] {
-            let got = run_jobs(workers, 37, |i| i * i);
+            let got: Vec<usize> = run_jobs(workers, 37, |i| i * i)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
             assert_eq!(got, expected, "workers = {workers}");
         }
     }
 
     #[test]
     fn zero_jobs_yield_empty_results() {
-        let got: Vec<usize> = run_jobs(4, 0, |i| i);
+        let got: Vec<Result<usize, JobPanic>> = run_jobs(4, 0, |i| i);
         assert!(got.is_empty());
     }
 
@@ -102,5 +156,48 @@ mod tests {
         // At least one job ran somewhere (on a 1-CPU machine all four workers
         // still exist; we only assert the pool executed every job).
         assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained_for_any_worker_count() {
+        for workers in [1, 2, 4] {
+            let results = run_jobs(workers, 8, |i| {
+                if i == 3 {
+                    panic!("job three is cursed");
+                }
+                i * 10
+            });
+            assert_eq!(results.len(), 8, "workers = {workers}");
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.job, 3);
+                    assert!(p.message.contains("cursed"));
+                    assert!(p.to_string().contains("job 3 panicked"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_and_nonstring_panic_payloads_are_rendered() {
+        let results = run_jobs(1, 2, |i| {
+            if i == 0 {
+                panic!("{}", format!("formatted {i}"));
+            } else {
+                std::panic::panic_any(42_i32);
+            }
+        });
+        assert!(results[0]
+            .as_ref()
+            .unwrap_err()
+            .message
+            .contains("formatted 0"));
+        assert_eq!(
+            results[1].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
     }
 }

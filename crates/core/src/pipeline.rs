@@ -10,7 +10,7 @@
 //!
 //! | Paper step | Code | Recorded as |
 //! |---|---|---|
-//! | 1. Import | `aladin_import::import_files` via [`Aladin::add_source_files`] | `"import"` |
+//! | 1. Import | `aladin_import::import_files_with` via [`Aladin::add_source_files`] | `"import"` |
 //! | 2. Primary objects (unique attributes, accessions, relationships, primary relation) | [`analyze_database`] → [`crate::unique`], [`crate::accession`], [`crate::relationships`], [`crate::primary`] | `"structure discovery"` |
 //! | 3. Secondary objects | [`analyze_database`] → [`crate::secondary`] | `"structure discovery"` |
 //! | 4. Link discovery (explicit + implicit) | [`crate::links`] per source pair | `"link discovery"` (one [`StepTiming`] per pair) |
@@ -27,24 +27,36 @@
 //! then pair, then row — so the metadata repository is identical for every
 //! worker count (the wall-clock values inside [`StepTiming`]s are the only
 //! thing that varies between runs).
+//!
+//! # Fault tolerance
+//!
+//! Integration is transactional: every mutation a source would make is
+//! staged ([`StagedSource`]) and committed only once the source — and, under
+//! [`BatchErrorPolicy::FailFast`], the whole batch — is known to succeed, so
+//! a failing `add_database`/`add_databases`/`refresh_source` call leaves the
+//! warehouse and the metadata repository exactly as before. A pair job that
+//! panics is contained by the worker pool and recorded as a
+//! [`PairFailure`] instead of taking the run down; a whole-source failure
+//! under [`BatchErrorPolicy::ContinueOnError`] quarantines just that source
+//! ([`SourceOutcome::Quarantined`]) while the rest of the batch integrates.
 
 use crate::accession::detect_accession_candidates;
-use crate::config::AladinConfig;
+use crate::config::{AladinConfig, BatchErrorPolicy, FaultInjection};
 use crate::duplicates::detect_duplicates;
-use crate::error::{AladinError, AladinResult};
+use crate::error::{AladinError, AladinResult, SourceFailure};
 use crate::links::explicit::discover_explicit_links;
 use crate::links::implicit::{
     discover_sequence_links, discover_shared_term_links, discover_text_links,
 };
 use crate::metadata::{
-    Link, MetadataRepository, ObjectRef, PipelineMetrics, SourceStructure, StepTiming,
+    Link, MetadataRepository, ObjectRef, PairFailure, PipelineMetrics, SourceStructure, StepTiming,
 };
 use crate::parallel::run_jobs;
 use crate::primary::select_primary_relations;
 use crate::relationships::discover_relationships;
 use crate::secondary::discover_secondary_relations;
 use crate::unique::detect_unique_columns;
-use aladin_import::{import_files, SourceFormat};
+use aladin_import::{import_files_with, QuarantinedRecord, SourceFormat};
 use aladin_relstore::stats::profile_table;
 use aladin_relstore::Database;
 use serde::{Deserialize, Serialize};
@@ -87,6 +99,28 @@ pub fn analyze_database(db: &Database, config: &AladinConfig) -> AladinResult<So
     })
 }
 
+/// Timed source-local analysis with fault injection applied: a source listed
+/// in [`FaultInjection::panic_analysis`] panics (to exercise panic
+/// containment), one listed in [`FaultInjection::fail_analysis`] returns a
+/// discovery error (to exercise rollback). Inert configurations go straight
+/// to [`analyze_database`].
+fn analyze_with_faults(
+    db: &Database,
+    config: &AladinConfig,
+) -> AladinResult<(SourceStructure, Duration)> {
+    let name = db.name();
+    if config.faults.panic_analysis.iter().any(|s| s == name) {
+        panic!("injected analysis panic: {name}");
+    }
+    if config.faults.fail_analysis.iter().any(|s| s == name) {
+        return Err(AladinError::Discovery(format!(
+            "injected analysis failure: {name}"
+        )));
+    }
+    let start = Instant::now();
+    analyze_database(db, config).map(|structure| (structure, start.elapsed()))
+}
+
 /// Summary of integrating one source.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IntegrationReport {
@@ -114,6 +148,14 @@ pub struct IntegrationReport {
     /// all pairs; the per-pair breakdown lives in the metadata repository and
     /// is surfaced via [`Aladin::metrics`]).
     pub step_timings: Vec<StepTiming>,
+    /// Records quarantined during import (only populated by
+    /// [`Aladin::add_source_files`]; empty for pre-imported databases or when
+    /// nothing was malformed).
+    pub quarantined: Vec<QuarantinedRecord>,
+    /// Contained pairwise-job failures: pairs skipped by panic isolation
+    /// instead of taking the whole integration down. Also recorded in the
+    /// metadata repository and surfaced via [`PipelineMetrics::failures`].
+    pub pair_failures: Vec<PairFailure>,
 }
 
 impl IntegrationReport {
@@ -268,6 +310,111 @@ fn discover_against(
     })
 }
 
+/// Per-source outcome of a batch integration run under an explicit error
+/// policy ([`Aladin::add_databases_with`]).
+#[derive(Debug, Clone)]
+pub enum SourceOutcome {
+    /// The source was integrated; its report.
+    Integrated(IntegrationReport),
+    /// The source failed and was quarantined: nothing of it was committed,
+    /// the rest of the batch was integrated without it.
+    Quarantined(SourceFailure),
+}
+
+impl SourceOutcome {
+    /// The source this outcome describes.
+    pub fn source(&self) -> &str {
+        match self {
+            SourceOutcome::Integrated(r) => &r.source,
+            SourceOutcome::Quarantined(f) => &f.source,
+        }
+    }
+
+    /// True when the source was integrated.
+    pub fn is_integrated(&self) -> bool {
+        matches!(self, SourceOutcome::Integrated(_))
+    }
+
+    /// The integration report, when the source was integrated.
+    pub fn report(&self) -> Option<&IntegrationReport> {
+        match self {
+            SourceOutcome::Integrated(r) => Some(r),
+            SourceOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// The failure, when the source was quarantined.
+    pub fn failure(&self) -> Option<&SourceFailure> {
+        match self {
+            SourceOutcome::Integrated(_) => None,
+            SourceOutcome::Quarantined(f) => Some(f),
+        }
+    }
+}
+
+/// Outcome of one batch integration: one [`SourceOutcome`] per input source,
+/// in input order.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-source outcomes, in input order.
+    pub outcomes: Vec<SourceOutcome>,
+}
+
+impl BatchReport {
+    /// The reports of the integrated sources, in input order.
+    pub fn integrated(&self) -> impl Iterator<Item = &IntegrationReport> {
+        self.outcomes.iter().filter_map(SourceOutcome::report)
+    }
+
+    /// The failures of the quarantined sources, in input order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &SourceFailure> {
+        self.outcomes.iter().filter_map(SourceOutcome::failure)
+    }
+
+    /// True when every source of the batch was integrated.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(SourceOutcome::is_integrated)
+    }
+
+    /// Collapse into the classic result: the integration reports when the
+    /// batch is complete, [`AladinError::PartialIntegration`] listing every
+    /// quarantined source otherwise.
+    pub fn into_result(self) -> AladinResult<Vec<IntegrationReport>> {
+        let mut reports = Vec::new();
+        let mut failures = Vec::new();
+        for outcome in self.outcomes {
+            match outcome {
+                SourceOutcome::Integrated(r) => reports.push(r),
+                SourceOutcome::Quarantined(f) => failures.push(f),
+            }
+        }
+        if failures.is_empty() {
+            Ok(reports)
+        } else {
+            Err(AladinError::PartialIntegration { failures })
+        }
+    }
+}
+
+/// Everything integrating one source would change, computed against the
+/// committed warehouse plus the batch sources staged before it — but not yet
+/// applied. Staging is the transactional heart of the pipeline: all mutations
+/// of a batch are computed first and applied only when the whole batch (under
+/// `FailFast`) or this source (under `ContinueOnError`) is known to succeed,
+/// so a failure never leaves partial state behind.
+#[derive(Debug)]
+struct StagedSource {
+    db: Database,
+    structure: SourceStructure,
+    structure_timing: StepTiming,
+    pair_timings: Vec<StepTiming>,
+    explicit_links: Vec<Link>,
+    implicit_links: Vec<Link>,
+    duplicate_links: Vec<Link>,
+    failures: Vec<PairFailure>,
+    report: IntegrationReport,
+}
+
 /// The ALADIN warehouse and integration pipeline.
 #[derive(Debug, Clone)]
 pub struct Aladin {
@@ -303,6 +450,13 @@ impl Aladin {
         &self.config
     }
 
+    /// Replace the fault-injection configuration (the fault harness arms
+    /// faults *after* an initial healthy integration this way; production
+    /// configurations leave it inert).
+    pub fn set_faults(&mut self, faults: FaultInjection) {
+        self.config.faults = faults;
+    }
+
     /// The metadata repository.
     pub fn metadata(&self) -> &MetadataRepository {
         &self.metadata
@@ -326,6 +480,9 @@ impl Aladin {
     }
 
     /// Import and integrate a source given as raw files (step 1 + steps 2–5).
+    /// Import honours the configured error budget and quarantines malformed
+    /// records ([`AladinConfig::import_error_budget`]); the quarantine report
+    /// lands in [`IntegrationReport::quarantined`].
     pub fn add_source_files(
         &mut self,
         source_name: &str,
@@ -333,10 +490,12 @@ impl Aladin {
         files: &[(String, String)],
     ) -> AladinResult<IntegrationReport> {
         let start = Instant::now();
-        let db = import_files(source_name, format, files)?;
+        let options = self.config.import_options();
+        let (db, quarantine) = import_files_with(source_name, format, files, &options)?;
         let import_elapsed = start.elapsed();
         let rows = db.total_rows();
         let mut report = self.add_database(db)?;
+        report.quarantined = quarantine.records().to_vec();
         report.step_timings.insert(
             0,
             StepTiming {
@@ -348,9 +507,13 @@ impl Aladin {
     }
 
     /// Integrate an already-imported relational database (steps 2–5).
+    /// Transactional: on failure the warehouse and the metadata repository
+    /// are exactly as before the call.
     pub fn add_database(&mut self, db: Database) -> AladinResult<IntegrationReport> {
         let mut reports = self.add_databases(vec![db])?;
-        Ok(reports.pop().expect("one report per database"))
+        reports
+            .pop()
+            .ok_or_else(|| AladinError::Discovery("batch produced no report".into()))
     }
 
     /// Integrate a batch of already-imported relational databases (steps 2–5
@@ -361,12 +524,38 @@ impl Aladin {
     /// metadata from other data sources" makes the batch embarrassingly
     /// parallel — while links and duplicates are still discovered and merged
     /// in input order, so the result is identical to sequential addition.
+    ///
+    /// Error handling follows [`AladinConfig::batch_policy`]. Under
+    /// `FailFast` (the default) the batch is all-or-nothing: any failing
+    /// source aborts the whole call with its error and the warehouse is left
+    /// exactly as before. Under `ContinueOnError`, failing sources are
+    /// quarantined and the call returns
+    /// [`AladinError::PartialIntegration`] naming them — the healthy sources
+    /// stay committed; use [`Aladin::add_databases_with`] to get the
+    /// per-source outcomes instead of an error.
     pub fn add_databases(&mut self, dbs: Vec<Database>) -> AladinResult<Vec<IntegrationReport>> {
+        self.add_databases_with(dbs, self.config.batch_policy)?
+            .into_result()
+    }
+
+    /// Integrate a batch under an explicit error policy, reporting a
+    /// [`SourceOutcome`] per input source.
+    ///
+    /// All mutations are staged per source and committed only once the fate
+    /// of the batch is known: under [`BatchErrorPolicy::FailFast`] the first
+    /// failing source aborts the call with its error and *nothing* is
+    /// committed; under [`BatchErrorPolicy::ContinueOnError`] failing
+    /// sources are quarantined ([`SourceOutcome::Quarantined`]) and every
+    /// healthy source is integrated exactly as if the failing ones had not
+    /// been in the batch.
+    pub fn add_databases_with(
+        &mut self,
+        dbs: Vec<Database>,
+        policy: BatchErrorPolicy,
+    ) -> AladinResult<BatchReport> {
         // Reject name collisions (within the batch and against the
-        // warehouse) before any work. A collision therefore leaves the
-        // warehouse untouched; a discovery error mid-batch commits the
-        // sources integrated before it, exactly like sequential
-        // `add_database` calls would.
+        // warehouse) before any work, regardless of policy: a collision is a
+        // caller bug, not a source fault.
         let mut batch_names: BTreeSet<String> = BTreeSet::new();
         for db in &dbs {
             if self.warehouse.contains_key(db.name()) || !batch_names.insert(db.name().to_string())
@@ -375,46 +564,134 @@ impl Aladin {
             }
         }
 
-        // Steps 2 + 3: source-local analysis, one job per new source.
+        // Steps 2 + 3: source-local analysis, one job per new source. A
+        // panicking analysis job is contained by the pool and converted into
+        // a per-source failure here.
         let config = &self.config;
         let analyses = run_jobs(config.workers, dbs.len(), |i| {
-            let start = Instant::now();
-            analyze_database(&dbs[i], config).map(|structure| (structure, start.elapsed()))
+            analyze_with_faults(&dbs[i], config)
         });
-        let mut analyzed: Vec<(SourceStructure, Duration)> = Vec::with_capacity(dbs.len());
-        for result in analyses {
-            analyzed.push(result?);
+        let analyzed: Vec<AladinResult<(SourceStructure, Duration)>> = analyses
+            .into_iter()
+            .zip(&dbs)
+            .map(|(result, db)| match result {
+                Ok(inner) => inner,
+                Err(p) => Err(AladinError::Discovery(format!(
+                    "analysis of source '{}' panicked: {}",
+                    db.name(),
+                    p.message
+                ))),
+            })
+            .collect();
+
+        // Steps 4 + 5: stage each source in input order against the
+        // committed warehouse plus the sources staged before it. Nothing is
+        // committed yet.
+        enum Slot {
+            Staged,
+            Failed(SourceFailure),
+        }
+        let mut staged: Vec<StagedSource> = Vec::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(analyzed.len());
+        for (db, analysis) in dbs.into_iter().zip(analyzed) {
+            let name = db.name().to_string();
+            let outcome = analysis.and_then(|(structure, elapsed)| {
+                self.stage_source(db, structure, elapsed, &staged, None)
+            });
+            match outcome {
+                Ok(s) => {
+                    staged.push(s);
+                    slots.push(Slot::Staged);
+                }
+                Err(error) => match policy {
+                    BatchErrorPolicy::FailFast => return Err(error),
+                    BatchErrorPolicy::ContinueOnError => {
+                        slots.push(Slot::Failed(SourceFailure {
+                            source: name,
+                            error: Box::new(error),
+                        }));
+                    }
+                },
+            }
         }
 
-        // Steps 4 + 5 and commit, in input order.
-        dbs.into_iter()
-            .zip(analyzed)
-            .map(|(db, (structure, elapsed))| self.integrate_analyzed(db, structure, elapsed))
-            .collect()
+        // Commit phase: every staged source, in input order.
+        let mut staged = staged.into_iter();
+        let mut outcomes = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Slot::Staged => {
+                    let s = staged.next().ok_or_else(|| {
+                        AladinError::Discovery("staged source missing at commit".into())
+                    })?;
+                    outcomes.push(SourceOutcome::Integrated(self.commit_staged(s)));
+                }
+                Slot::Failed(f) => outcomes.push(SourceOutcome::Quarantined(f)),
+            }
+        }
+        Ok(BatchReport { outcomes })
     }
 
-    /// Steps 4–5 for one analysed source, then the commit to the metadata
-    /// repository and the warehouse. Pair jobs (the new source against each
-    /// already-integrated source) run concurrently; outcomes are merged in
-    /// warehouse order (sorted by source name), each outcome's links already
-    /// being in a deterministic per-pair, per-row order.
-    fn integrate_analyzed(
-        &mut self,
+    /// Steps 4–5 for one analysed source, computed against the committed
+    /// warehouse plus the already-staged batch sources (minus `exclude`, used
+    /// by [`Aladin::refresh_source`] to hide the stale version of the source
+    /// being refreshed) — without mutating anything. Pair jobs run
+    /// concurrently; outcomes are merged in source-name order, each
+    /// outcome's links already being in a deterministic per-pair, per-row
+    /// order, so staging a batch is indistinguishable from sequential
+    /// addition. A pair job that panics (or is injected to panic) is
+    /// contained: the pair is skipped and recorded as a [`PairFailure`]; a
+    /// pair job that returns an error fails the whole source.
+    fn stage_source(
+        &self,
         db: Database,
         structure: SourceStructure,
         structure_elapsed: Duration,
-    ) -> AladinResult<IntegrationReport> {
+        staged: &[StagedSource],
+        exclude: Option<&str>,
+    ) -> AladinResult<StagedSource> {
         let name = db.name().to_string();
-        let (config, plan, metadata) = (&self.config, self.plan, &self.metadata);
-        let others: Vec<(&String, &Database)> = self.warehouse.iter().collect();
+        let (config, plan) = (&self.config, self.plan);
+        let empty = SourceStructure::default();
+        let mut others: Vec<(&str, &Database, &SourceStructure)> = self
+            .warehouse
+            .iter()
+            .filter(|(n, _)| Some(n.as_str()) != exclude)
+            .map(|(n, d)| (n.as_str(), d, self.metadata.structure(n).unwrap_or(&empty)))
+            .collect();
+        for s in staged {
+            others.push((s.report.source.as_str(), &s.db, &s.structure));
+        }
+        others.sort_by(|a, b| a.0.cmp(b.0));
+
         let results = run_jobs(config.workers, others.len(), |i| {
-            let (other_name, other_db) = others[i];
-            let other_structure = metadata.structure(other_name).cloned().unwrap_or_default();
-            discover_against(&db, &structure, other_db, &other_structure, &plan, config)
+            let (other_name, other_db, other_structure) = others[i];
+            if FaultInjection::pair_listed(&config.faults.panic_pairs, &name, other_name) {
+                panic!("injected pair panic: {name} vs {other_name}");
+            }
+            if FaultInjection::pair_listed(&config.faults.fail_pairs, &name, other_name) {
+                return Err(AladinError::Discovery(format!(
+                    "injected pair failure: {name} vs {other_name}"
+                )));
+            }
+            discover_against(&db, &structure, other_db, other_structure, &plan, config)
         });
         let mut outcomes: Vec<PairOutcome> = Vec::with_capacity(results.len());
-        for result in results {
-            outcomes.push(result?);
+        let mut failures: Vec<PairFailure> = Vec::new();
+        for (result, (other_name, _, _)) in results.into_iter().zip(&others) {
+            match result {
+                Ok(Ok(outcome)) => outcomes.push(outcome),
+                // A genuine discovery error fails the source (and, under
+                // FailFast, the batch).
+                Ok(Err(e)) => return Err(e),
+                // A panic is contained: skip the pair, record the failure.
+                Err(panic) => failures.push(PairFailure {
+                    source: name.clone(),
+                    pair: (*other_name).to_string(),
+                    step: "link/duplicate discovery".to_string(),
+                    error: panic.message,
+                }),
+            }
         }
 
         // Deterministic merge: outcomes arrive in warehouse (source-name)
@@ -485,9 +762,38 @@ impl Aladin {
                     ..StepTiming::local(name.clone(), "duplicate detection", duplicate_elapsed)
                 },
             ],
+            quarantined: Vec::new(),
+            pair_failures: failures.clone(),
         };
 
-        // Commit to the metadata repository and the warehouse.
+        Ok(StagedSource {
+            db,
+            structure,
+            structure_timing,
+            pair_timings,
+            explicit_links,
+            implicit_links,
+            duplicate_links,
+            failures,
+            report,
+        })
+    }
+
+    /// Apply one staged source to the metadata repository and the warehouse.
+    /// This is the only place integration mutates `self`, and it cannot fail:
+    /// everything fallible happened during staging.
+    fn commit_staged(&mut self, staged: StagedSource) -> IntegrationReport {
+        let StagedSource {
+            db,
+            structure,
+            structure_timing,
+            pair_timings,
+            explicit_links,
+            implicit_links,
+            duplicate_links,
+            failures,
+            report,
+        } = staged;
         self.metadata.add_timing(structure_timing);
         for timing in pair_timings {
             self.metadata.add_timing(timing);
@@ -496,8 +802,11 @@ impl Aladin {
         self.metadata.add_links(explicit_links);
         self.metadata.add_links(implicit_links);
         self.metadata.add_duplicates(duplicate_links);
-        self.warehouse.insert(name, db);
-        Ok(report)
+        for failure in failures {
+            self.metadata.add_failure(failure);
+        }
+        self.warehouse.insert(report.source.clone(), db);
+        report
     }
 
     /// The per-step, per-pair metrics report over everything integrated so
@@ -508,8 +817,14 @@ impl Aladin {
 
     /// Handle a changed source (Section 6.2's maintenance discussion): if the
     /// fraction of changed rows is below the configured threshold the update
-    /// is deferred (returns `None`); otherwise the source is dropped and fully
+    /// is deferred (returns `None`); otherwise the source is fully
     /// re-integrated (returns the new report).
+    ///
+    /// Transactional: the new version is analysed and staged against the
+    /// warehouse *minus* the stale version first, and the stale version is
+    /// swapped out only once staging has succeeded. A failed refresh
+    /// therefore leaves the warehouse and the metadata repository — including
+    /// the previous version of the source — exactly as before the call.
     pub fn refresh_source(
         &mut self,
         db: Database,
@@ -522,9 +837,21 @@ impl Aladin {
         if changed_fraction < self.config.refresh_change_threshold {
             return Ok(None);
         }
+        let config = &self.config;
+        let (structure, elapsed) = run_jobs(1, 1, |_| analyze_with_faults(&db, config))
+            .pop()
+            .unwrap_or_else(|| unreachable!("one job yields one result"))
+            .unwrap_or_else(|p| {
+                Err(AladinError::Discovery(format!(
+                    "analysis of source '{name}' panicked: {}",
+                    p.message
+                )))
+            })?;
+        let staged = self.stage_source(db, structure, elapsed, &[], Some(&name))?;
+        // Staging succeeded — only now retire the stale version.
         self.warehouse.remove(&name);
         self.metadata.remove_source(&name);
-        self.add_database(db).map(Some)
+        Ok(Some(self.commit_staged(staged)))
     }
 
     /// Wrap this pipeline in the unified access facade
@@ -746,6 +1073,54 @@ mod tests {
         assert_eq!(report.implicit_links, 0);
         assert_eq!(report.duplicates, 0);
         assert_eq!(aladin.link_count(), 0);
+    }
+
+    #[test]
+    fn a_mid_batch_failure_commits_nothing_under_fail_fast() {
+        let mut cfg = config();
+        cfg.faults.fail_analysis.push("structdb".into());
+        let mut aladin = Aladin::new(cfg);
+        let generation = aladin.metadata().generation();
+        let err = aladin
+            .add_databases(vec![protkb(), structdb()])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected analysis failure"));
+        // All-or-nothing: the healthy first source was not stranded in the
+        // warehouse by the failure of the second.
+        assert_eq!(aladin.source_count(), 0);
+        assert!(aladin.metadata().structure("protkb").is_none());
+        assert_eq!(aladin.metadata().generation(), generation);
+    }
+
+    #[test]
+    fn continue_on_error_quarantines_only_the_failing_source() {
+        let mut cfg = config();
+        cfg.faults.fail_analysis.push("protkb".into());
+        let mut aladin = Aladin::new(cfg);
+        let report = aladin
+            .add_databases_with(
+                vec![protkb(), structdb()],
+                BatchErrorPolicy::ContinueOnError,
+            )
+            .unwrap();
+        assert!(!report.is_complete());
+        let failure = report.quarantined().next().unwrap();
+        assert_eq!(failure.source, "protkb");
+        assert!(failure.error.to_string().contains("injected"));
+        assert_eq!(report.integrated().count(), 1);
+        assert_eq!(aladin.source_count(), 1);
+        assert!(aladin.database("structdb").is_ok());
+        assert!(aladin.database("protkb").is_err());
+
+        // The classic API surfaces the same outcome as PartialIntegration.
+        let mut cfg = config().with_batch_policy(BatchErrorPolicy::ContinueOnError);
+        cfg.faults.fail_analysis.push("protkb".into());
+        let mut aladin = Aladin::new(cfg);
+        let err = aladin
+            .add_databases(vec![protkb(), structdb()])
+            .unwrap_err();
+        assert!(matches!(err, AladinError::PartialIntegration { .. }));
+        assert_eq!(aladin.source_count(), 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod corpus;
+pub mod faults;
 pub mod ids;
 pub mod sequences;
 pub mod sources;
@@ -42,5 +43,6 @@ pub mod vocab;
 pub mod world;
 
 pub use corpus::{Corpus, CorpusConfig, SourceDump};
+pub use faults::{corrupt_bytes, corrupt_dump, corrupt_sources, FaultConfig, FlakyFetcher};
 pub use truth::{DuplicatePair, GroundTruth, ObjectLink, SourceTruth};
 pub use world::World;

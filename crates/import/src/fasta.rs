@@ -6,13 +6,32 @@
 //! prefixes unwrapped), the description the rest of the header.
 
 use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use crate::quarantine::Quarantine;
 use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
 
-/// Parse a FASTA file into a table of `db` named after the file.
+/// Parse a FASTA file into a table of `db` named after the file, failing on
+/// the first malformed record (see [`parse_into_with`] for the quarantining
+/// variant).
 pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
+    parse_into_with(db, file_name, content, &mut Quarantine::strict())
+}
+
+/// Parse a FASTA file, quarantining malformed records against the
+/// quarantine's error budget: a record with an empty header is skipped
+/// (including its sequence lines), and orphan sequence data before the first
+/// header is quarantined as one block.
+pub fn parse_into_with(
+    db: &mut Database,
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<()> {
     let mut records: Vec<(String, String, String)> = Vec::new();
     let mut header: Option<(String, String)> = None;
     let mut sequence = String::new();
+    // True while skipping the remains of a quarantined record (its sequence
+    // lines carry no usable identity on their own).
+    let mut skipping = false;
 
     for (line_no, line) in content.lines().enumerate() {
         let line = line.trim_end();
@@ -27,18 +46,24 @@ pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportRe
             let raw_id = parts.next().unwrap_or("").to_string();
             let desc = parts.next().unwrap_or("").trim().to_string();
             if raw_id.is_empty() {
-                return Err(ImportError::Malformed(format!(
-                    "file '{file_name}', line {}: empty FASTA header",
-                    line_no + 1
-                )));
+                quarantine.record(file_name, line_no + 1, "empty FASTA header", line)?;
+                skipping = true;
+                continue;
             }
+            skipping = false;
             header = Some((unwrap_accession(&raw_id), desc));
         } else {
             if header.is_none() {
-                return Err(ImportError::Malformed(format!(
-                    "file '{file_name}', line {}: sequence data before first header",
-                    line_no + 1
-                )));
+                if !skipping {
+                    quarantine.record(
+                        file_name,
+                        line_no + 1,
+                        "sequence data before first header",
+                        line,
+                    )?;
+                    skipping = true;
+                }
+                continue;
             }
             sequence.extend(line.chars().filter(|c| !c.is_whitespace()));
         }

@@ -21,6 +21,7 @@
 //! job, not the importer's.
 
 use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use crate::quarantine::Quarantine;
 use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -32,13 +33,17 @@ struct RawRecord {
     sequence: Option<String>,
 }
 
-fn parse_records(content: &str) -> ImportResult<Vec<RawRecord>> {
+fn parse_records(
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<Vec<RawRecord>> {
     let mut records = Vec::new();
     let mut current = RawRecord::default();
     let mut in_sequence = false;
     let mut has_content = false;
 
-    for line in content.lines() {
+    for (line_no, line) in content.lines().enumerate() {
         if line.trim() == "//" {
             if has_content {
                 records.push(std::mem::take(&mut current));
@@ -67,9 +72,15 @@ fn parse_records(content: &str) -> ImportResult<Vec<RawRecord>> {
             None => (line.trim(), ""),
         };
         if code.is_empty() {
-            return Err(ImportError::Malformed(format!(
-                "flat file line without a line code: '{line}'"
-            )));
+            // A continuation-style line outside any sequence block: garbage
+            // (or a truncation scar). Quarantine it and keep the record.
+            quarantine.record(
+                file_name,
+                line_no + 1,
+                "line without a line code outside a sequence block",
+                line,
+            )?;
+            continue;
         }
         has_content = true;
         if code.eq_ignore_ascii_case("SQ") {
@@ -89,9 +100,22 @@ fn parse_records(content: &str) -> ImportResult<Vec<RawRecord>> {
     Ok(records)
 }
 
-/// Parse a flat file and add its tables to `db`.
+/// Parse a flat file and add its tables to `db`, failing on the first
+/// malformed line (see [`parse_into_with`] for the quarantining variant).
 pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
-    let records = parse_records(content)?;
+    parse_into_with(db, file_name, content, &mut Quarantine::strict())
+}
+
+/// Parse a flat file, quarantining garbage continuation lines (indented
+/// lines outside a sequence block, which carry no line code) against the
+/// quarantine's error budget instead of failing the file.
+pub fn parse_into_with(
+    db: &mut Database,
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<()> {
+    let records = parse_records(file_name, content, quarantine)?;
     if records.is_empty() {
         return Ok(());
     }

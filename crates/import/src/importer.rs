@@ -1,5 +1,7 @@
 //! Import dispatch: turn a set of source files into a relational database.
 
+use crate::quarantine::Quarantine;
+use crate::reader::{decode_text, fetch_with_retry, RetryPolicy, SourceFetcher};
 use aladin_relstore::{Database, RelError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -32,11 +34,29 @@ impl fmt::Display for SourceFormat {
 
 /// Errors produced during import.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ImportError {
     /// The file content did not conform to the expected format.
     Malformed(String),
     /// The underlying relational substrate rejected the data.
     Storage(RelError),
+    /// More records were malformed than the configured error budget allows.
+    BudgetExceeded {
+        /// Number of records quarantined when the import gave up.
+        quarantined: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A file could not be fetched from the source-reading layer, even after
+    /// the configured retries.
+    Io {
+        /// The file that failed.
+        file: String,
+        /// Fetch attempts made.
+        attempts: usize,
+        /// The last underlying failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ImportError {
@@ -44,6 +64,21 @@ impl fmt::Display for ImportError {
         match self {
             ImportError::Malformed(m) => write!(f, "malformed input: {m}"),
             ImportError::Storage(e) => write!(f, "storage error: {e}"),
+            ImportError::BudgetExceeded {
+                quarantined,
+                budget,
+            } => write!(
+                f,
+                "error budget exceeded: {quarantined} records quarantined (budget {budget})"
+            ),
+            ImportError::Io {
+                file,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "I/O error reading '{file}' after {attempts} attempt(s): {reason}"
+            ),
         }
     }
 }
@@ -59,9 +94,55 @@ impl From<RelError> for ImportError {
 /// Convenience result alias.
 pub type ImportResult<T> = Result<T, ImportError>;
 
+/// Options of one import run: how many malformed records to tolerate and how
+/// hard to retry transient fetch failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportOptions {
+    /// Maximum number of malformed records quarantined (across all files of
+    /// the source) before the import fails. `0` reproduces the historical
+    /// strict behaviour: the first malformed record aborts the file.
+    pub error_budget: usize,
+    /// Retry policy of the source-reading layer (only used by
+    /// [`import_fetched`]; pre-fetched text never retries).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ImportOptions {
+    fn default() -> Self {
+        ImportOptions::strict()
+    }
+}
+
+impl ImportOptions {
+    /// Strict options: no error budget, no retries — any malformed record or
+    /// fetch failure fails the import.
+    pub fn strict() -> ImportOptions {
+        ImportOptions {
+            error_budget: 0,
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    /// Tolerant options: quarantine up to `error_budget` malformed records
+    /// and retry transient fetch failures with the default policy.
+    pub fn tolerant(error_budget: usize) -> ImportOptions {
+        ImportOptions {
+            error_budget,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// This set of options with the given retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ImportOptions {
+        self.retry = retry;
+        self
+    }
+}
+
 /// Import a data source given as a list of `(file name, file content)` pairs
 /// in a single format, producing one relational database named after the
-/// source.
+/// source. Strict: the first malformed record fails the import (see
+/// [`import_files_with`] for the quarantining variant).
 ///
 /// Table names are derived from the file names (without extension) by the
 /// individual parsers; when a parser produces several tables per file (flat
@@ -71,16 +152,64 @@ pub fn import_files(
     format: SourceFormat,
     files: &[(String, String)],
 ) -> ImportResult<Database> {
+    import_files_with(source_name, format, files, &ImportOptions::strict()).map(|(db, _)| db)
+}
+
+/// Import a data source with an explicit error budget: malformed records are
+/// collected into the returned [`Quarantine`] report instead of failing the
+/// file, as long as their number stays within `options.error_budget`.
+pub fn import_files_with(
+    source_name: &str,
+    format: SourceFormat,
+    files: &[(String, String)],
+    options: &ImportOptions,
+) -> ImportResult<(Database, Quarantine)> {
     let mut db = Database::new(source_name);
+    let mut quarantine = Quarantine::with_budget(options.error_budget);
     for (file_name, content) in files {
-        match format {
-            SourceFormat::FlatFile => crate::flatfile::parse_into(&mut db, file_name, content)?,
-            SourceFormat::Xml => crate::xml::shred_into(&mut db, file_name, content)?,
-            SourceFormat::Tabular => crate::tabular::parse_into(&mut db, file_name, content)?,
-            SourceFormat::Fasta => crate::fasta::parse_into(&mut db, file_name, content)?,
-        }
+        parse_file(&mut db, format, file_name, content, &mut quarantine)?;
     }
-    Ok(db)
+    Ok((db, quarantine))
+}
+
+/// Import a data source through the source-reading layer: file bytes come
+/// from a [`SourceFetcher`], transient fetch failures are retried per
+/// `options.retry`, invalid UTF-8 is quarantined (or fails, in strict mode),
+/// and malformed records are quarantined against the error budget.
+pub fn import_fetched(
+    source_name: &str,
+    format: SourceFormat,
+    fetcher: &mut dyn SourceFetcher,
+    options: &ImportOptions,
+) -> ImportResult<(Database, Quarantine)> {
+    let mut db = Database::new(source_name);
+    let mut quarantine = Quarantine::with_budget(options.error_budget);
+    for file_name in fetcher.file_names() {
+        let bytes = fetch_with_retry(fetcher, &file_name, &options.retry)?;
+        let content = decode_text(&file_name, bytes, &mut quarantine)?;
+        parse_file(&mut db, format, &file_name, &content, &mut quarantine)?;
+    }
+    Ok((db, quarantine))
+}
+
+/// Dispatch one file to the parser of its format.
+fn parse_file(
+    db: &mut Database,
+    format: SourceFormat,
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<()> {
+    match format {
+        SourceFormat::FlatFile => {
+            crate::flatfile::parse_into_with(db, file_name, content, quarantine)
+        }
+        SourceFormat::Xml => crate::xml::shred_into_with(db, file_name, content, quarantine),
+        SourceFormat::Tabular => {
+            crate::tabular::parse_into_with(db, file_name, content, quarantine)
+        }
+        SourceFormat::Fasta => crate::fasta::parse_into_with(db, file_name, content, quarantine),
+    }
 }
 
 /// Derive a table name from a file name: strip directories and the extension,

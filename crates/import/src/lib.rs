@@ -26,14 +26,28 @@
 //! * [`importer`] — the [`importer::SourceFormat`] registry and
 //!   [`importer::import_files`] entry point that dispatches to the right
 //!   parser and assembles one [`aladin_relstore::Database`] per data source.
+//!
+//! Fault tolerance lives in two additional modules: [`quarantine`] collects
+//! malformed records against a configurable error budget instead of failing
+//! the file, and [`reader`] is the source-reading layer with bounded
+//! retry-with-backoff for transient fetch failures.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 pub mod fasta;
 pub mod flatfile;
 pub mod importer;
+pub mod quarantine;
+pub mod reader;
 pub mod tabular;
 pub mod xml;
 
-pub use importer::{import_files, ImportError, ImportResult, SourceFormat};
+pub use importer::{
+    import_fetched, import_files, import_files_with, ImportError, ImportOptions, ImportResult,
+    SourceFormat,
+};
+pub use quarantine::{Quarantine, QuarantinedRecord};
+pub use reader::{FetchError, MemoryFetcher, RetryPolicy, SourceFetcher};

@@ -1,0 +1,287 @@
+//! The source-reading layer: byte-level file fetching with bounded
+//! retry-with-backoff, in front of the format parsers.
+//!
+//! The paper's sources are downloaded dumps; in this reproduction they are
+//! provided by a [`SourceFetcher`] — in-memory for tests and the synthetic
+//! corpus, but the trait is the seam where FTP/HTTP readers would plug in.
+//! Fetching is where *transient* faults live (connection resets, short
+//! reads), so [`fetch_with_retry`] retries a bounded number of times with
+//! linear backoff before giving up with [`ImportError::Io`]. Permanent
+//! failures (file missing, access denied) are never retried.
+//!
+//! Fetched bytes are decoded to UTF-8 here as well: in strict mode a stray
+//! byte fails the file, in tolerant mode the offending sequences are replaced
+//! and recorded in the [`Quarantine`] report.
+
+use crate::importer::{ImportError, ImportResult};
+use crate::quarantine::Quarantine;
+use std::fmt;
+use std::time::Duration;
+
+/// A fetch failure, classified by whether retrying can help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// A transient fault (reset connection, short read, busy mirror):
+    /// retrying may succeed.
+    Transient(String),
+    /// A permanent fault (missing file, access denied): retrying is useless.
+    Permanent(String),
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Transient(m) => write!(f, "transient fetch error: {m}"),
+            FetchError::Permanent(m) => write!(f, "permanent fetch error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Something that can produce the raw bytes of a source's files.
+pub trait SourceFetcher {
+    /// The file names this fetcher can serve, in import order.
+    fn file_names(&self) -> Vec<String>;
+
+    /// Fetch the raw bytes of one file. May fail transiently.
+    fn fetch(&mut self, file: &str) -> Result<Vec<u8>, FetchError>;
+}
+
+/// An in-memory fetcher over `(file name, bytes)` pairs — the degenerate
+/// always-succeeding reader used for pre-rendered dumps.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryFetcher {
+    files: Vec<(String, Vec<u8>)>,
+}
+
+impl MemoryFetcher {
+    /// Build from raw byte files.
+    pub fn new(files: Vec<(String, Vec<u8>)>) -> MemoryFetcher {
+        MemoryFetcher { files }
+    }
+
+    /// Build from text files.
+    pub fn from_text(files: &[(String, String)]) -> MemoryFetcher {
+        MemoryFetcher {
+            files: files
+                .iter()
+                .map(|(n, c)| (n.clone(), c.as_bytes().to_vec()))
+                .collect(),
+        }
+    }
+}
+
+impl SourceFetcher for MemoryFetcher {
+    fn file_names(&self) -> Vec<String> {
+        self.files.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    fn fetch(&mut self, file: &str) -> Result<Vec<u8>, FetchError> {
+        self.files
+            .iter()
+            .find(|(n, _)| n == file)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| FetchError::Permanent(format!("no such file: {file}")))
+    }
+}
+
+/// Bounded retry policy for transient fetch failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per file (1 = no retries).
+    pub max_attempts: usize,
+    /// Backoff slept before retry `n` is `base_backoff * n` (linear).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Fetch one file, retrying transient failures up to the policy's bound with
+/// linear backoff. Permanent failures and exhausted budgets become
+/// [`ImportError::Io`].
+pub fn fetch_with_retry(
+    fetcher: &mut dyn SourceFetcher,
+    file: &str,
+    policy: &RetryPolicy,
+) -> ImportResult<Vec<u8>> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 1..=attempts {
+        match fetcher.fetch(file) {
+            Ok(bytes) => return Ok(bytes),
+            Err(FetchError::Permanent(m)) => {
+                return Err(ImportError::Io {
+                    file: file.to_string(),
+                    attempts: attempt,
+                    reason: m,
+                })
+            }
+            Err(FetchError::Transient(m)) => {
+                last_error = m;
+                if attempt < attempts && !policy.base_backoff.is_zero() {
+                    std::thread::sleep(policy.base_backoff * attempt as u32);
+                }
+            }
+        }
+    }
+    Err(ImportError::Io {
+        file: file.to_string(),
+        attempts,
+        reason: last_error,
+    })
+}
+
+/// Decode fetched bytes to text. Invalid UTF-8 fails the file in strict mode
+/// (budget zero); in tolerant mode the offending sequences are replaced with
+/// U+FFFD and one quarantine record per file notes how many bytes were lost.
+pub fn decode_text(
+    file: &str,
+    bytes: Vec<u8>,
+    quarantine: &mut Quarantine,
+) -> ImportResult<String> {
+    match String::from_utf8(bytes) {
+        Ok(text) => Ok(text),
+        Err(err) => {
+            let bytes = err.into_bytes();
+            let decoded = String::from_utf8_lossy(&bytes);
+            let replaced = decoded.matches(char::REPLACEMENT_CHARACTER).count();
+            quarantine.record(
+                file,
+                0,
+                format!("invalid UTF-8: {replaced} byte sequence(s) replaced"),
+                &decoded,
+            )?;
+            Ok(decoded.into_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fetcher scripted to fail a given number of times per file before
+    /// succeeding (or to fail permanently).
+    struct Scripted {
+        inner: MemoryFetcher,
+        transient_failures: usize,
+        attempts: usize,
+        permanent: bool,
+    }
+
+    impl SourceFetcher for Scripted {
+        fn file_names(&self) -> Vec<String> {
+            self.inner.file_names()
+        }
+
+        fn fetch(&mut self, file: &str) -> Result<Vec<u8>, FetchError> {
+            self.attempts += 1;
+            if self.permanent {
+                return Err(FetchError::Permanent("gone".into()));
+            }
+            if self.attempts <= self.transient_failures {
+                return Err(FetchError::Transient("connection reset".into()));
+            }
+            self.inner.fetch(file)
+        }
+    }
+
+    fn scripted(failures: usize, permanent: bool) -> Scripted {
+        Scripted {
+            inner: MemoryFetcher::from_text(&[("f.csv".to_string(), "a,b\n1,2\n".to_string())]),
+            transient_failures: failures,
+            attempts: 0,
+            permanent,
+        }
+    }
+
+    fn quick() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn transient_failures_within_budget_are_retried() {
+        let mut f = scripted(2, false);
+        let bytes = fetch_with_retry(&mut f, "f.csv", &quick()).unwrap();
+        assert_eq!(f.attempts, 3);
+        assert_eq!(bytes, b"a,b\n1,2\n");
+    }
+
+    #[test]
+    fn transient_failures_beyond_budget_become_io_errors() {
+        let mut f = scripted(5, false);
+        let err = fetch_with_retry(&mut f, "f.csv", &quick()).unwrap_err();
+        match err {
+            ImportError::Io {
+                file,
+                attempts,
+                reason,
+            } => {
+                assert_eq!(file, "f.csv");
+                assert_eq!(attempts, 3);
+                assert!(reason.contains("connection reset"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let mut f = scripted(0, true);
+        let err = fetch_with_retry(&mut f, "f.csv", &quick()).unwrap_err();
+        assert_eq!(f.attempts, 1);
+        assert!(matches!(err, ImportError::Io { attempts: 1, .. }));
+    }
+
+    #[test]
+    fn memory_fetcher_serves_and_rejects() {
+        let mut f = MemoryFetcher::from_text(&[("x".to_string(), "hi".to_string())]);
+        assert_eq!(f.file_names(), vec!["x"]);
+        assert_eq!(f.fetch("x").unwrap(), b"hi");
+        assert!(matches!(f.fetch("y"), Err(FetchError::Permanent(_))));
+    }
+
+    #[test]
+    fn decode_text_strict_rejects_invalid_utf8() {
+        let mut q = Quarantine::strict();
+        let err = decode_text("f", vec![b'a', 0xFF, b'b'], &mut q).unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn decode_text_tolerant_replaces_and_quarantines() {
+        let mut q = Quarantine::with_budget(4);
+        let text = decode_text("f", vec![b'a', 0xFF, b'b'], &mut q).unwrap();
+        assert_eq!(text, format!("a{}b", char::REPLACEMENT_CHARACTER));
+        assert_eq!(q.len(), 1);
+        assert!(q.records()[0].reason.contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn clean_bytes_decode_without_quarantine() {
+        let mut q = Quarantine::strict();
+        assert_eq!(decode_text("f", b"ok".to_vec(), &mut q).unwrap(), "ok");
+        assert!(q.is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! Delimited-text (CSV/TSV) import with a header row and type inference.
 
 use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use crate::quarantine::Quarantine;
 use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
 
 /// Detect the delimiter of a header line: tab wins if present, otherwise
@@ -44,13 +45,28 @@ pub fn split_line(line: &str, delimiter: char) -> Vec<String> {
     fields
 }
 
-/// Parse a delimited file into a new table of `db` named after the file.
+/// Parse a delimited file into a new table of `db` named after the file,
+/// failing on the first malformed row (see [`parse_into_with`] for the
+/// quarantining variant).
 ///
 /// The first non-empty line is the header. Column types are inferred from the
 /// data: a column whose non-empty values all parse as integers becomes
 /// INTEGER, all-float becomes FLOAT, otherwise TEXT. Rows with a different
 /// number of fields than the header are rejected.
 pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
+    parse_into_with(db, file_name, content, &mut Quarantine::strict())
+}
+
+/// Parse a delimited file, quarantining ragged rows (wrong field count,
+/// including rows cut short by truncation) against the quarantine's error
+/// budget instead of failing the file. A header with empty column names is
+/// still a hard error — without a usable header no row can be interpreted.
+pub fn parse_into_with(
+    db: &mut Database,
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<()> {
     let mut lines = content.lines().filter(|l| !l.trim().is_empty());
     let header = match lines.next() {
         Some(h) => h,
@@ -72,12 +88,17 @@ pub fn parse_into(db: &mut Database, file_name: &str, content: &str) -> ImportRe
     for (line_no, line) in lines.enumerate() {
         let fields = split_line(line, delimiter);
         if fields.len() != columns.len() {
-            return Err(ImportError::Malformed(format!(
-                "file '{file_name}', data line {}: expected {} fields, found {}",
+            quarantine.record(
+                file_name,
                 line_no + 2,
-                columns.len(),
-                fields.len()
-            )));
+                format!(
+                    "ragged row: expected {} fields, found {}",
+                    columns.len(),
+                    fields.len()
+                ),
+                line,
+            )?;
+            continue;
         }
         raw_rows.push(fields);
     }

@@ -7,6 +7,7 @@
 //! used.
 
 use crate::importer::{table_name_from_file, ImportError, ImportResult};
+use crate::quarantine::Quarantine;
 use aladin_relstore::{ColumnDef, DataType, Database, TableSchema, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -242,7 +243,33 @@ fn decode_entities(s: &str) -> String {
 /// columns; the trimmed text content (if any element of that name has some)
 /// becomes a `content` column.
 pub fn shred_into(db: &mut Database, file_name: &str, content: &str) -> ImportResult<()> {
-    let root = parse_document(content)?;
+    shred_into_with(db, file_name, content, &mut Quarantine::strict())
+}
+
+/// Shred an XML document, quarantining an unparseable document at file level
+/// against the quarantine's error budget: unlike the line-oriented formats,
+/// a truncated or malformed XML file cannot be partially recovered, so the
+/// whole file is recorded as one quarantined entry (line 0) and contributes
+/// no tables; other files of the source still import normally.
+pub fn shred_into_with(
+    db: &mut Database,
+    file_name: &str,
+    content: &str,
+    quarantine: &mut Quarantine,
+) -> ImportResult<()> {
+    let root = match parse_document(content) {
+        Ok(root) => root,
+        Err(ImportError::Malformed(reason)) => {
+            quarantine.record(
+                file_name,
+                0,
+                format!("unparseable XML document: {reason}"),
+                content,
+            )?;
+            return Ok(());
+        }
+        Err(other) => return Err(other),
+    };
     let prefix = table_name_from_file(file_name);
 
     // Pass 1: collect per-element-name column sets.

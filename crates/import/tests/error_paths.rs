@@ -1,0 +1,235 @@
+//! Importer error-path tests: corrupted inputs of every format, asserting
+//! both the quarantine report and that the valid records still load.
+
+use aladin_import::{
+    import_files, import_files_with, importer::SourceFormat, ImportError, ImportOptions,
+};
+
+fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.to_string()))
+        .collect()
+}
+
+// --- FASTA: truncated / headerless records ---------------------------------
+
+const TRUNCATED_FASTA: &str = "\
+ACGTACGT
+>P12345 kinase A
+MKTAYIAKQR
+>
+GGGG
+>P67890 transporter B
+MSDNNN
+";
+
+#[test]
+fn truncated_fasta_quarantines_and_keeps_valid_records() {
+    let fs = files(&[("prot.fasta", TRUNCATED_FASTA)]);
+    let (db, quarantine) = import_files_with(
+        "protkb",
+        SourceFormat::Fasta,
+        &fs,
+        &ImportOptions::tolerant(8),
+    )
+    .unwrap();
+
+    // Orphan leading sequence + empty header = 2 quarantined entries.
+    assert_eq!(quarantine.len(), 2);
+    assert!(quarantine.records()[0]
+        .reason
+        .contains("sequence data before first header"));
+    assert!(quarantine.records()[1]
+        .reason
+        .contains("empty FASTA header"));
+    assert_eq!(quarantine.records()[1].line, 4);
+
+    // The two well-formed records still load; the headerless block's
+    // sequence lines are not glued onto a neighbour.
+    let t = db.table("prot").unwrap();
+    assert_eq!(t.row_count(), 2);
+    assert_eq!(
+        t.cell(0, "accession").unwrap(),
+        &aladin_relstore::Value::text("P12345")
+    );
+    assert_eq!(
+        t.cell(1, "accession").unwrap(),
+        &aladin_relstore::Value::text("P67890")
+    );
+}
+
+#[test]
+fn truncated_fasta_strict_mode_still_fails() {
+    let fs = files(&[("prot.fasta", TRUNCATED_FASTA)]);
+    let err = import_files("protkb", SourceFormat::Fasta, &fs).unwrap_err();
+    assert!(matches!(err, ImportError::Malformed(_)));
+}
+
+// --- Flat file: garbage continuation lines ---------------------------------
+
+const GARBAGE_FLATFILE: &str = "\
+ID   KINA_HUMAN
+AC   P12345
+   orphaned continuation outside any sequence block
+DE   Serine kinase A
+//
+ID   TRAB_HUMAN
+AC   P67890
+//
+";
+
+#[test]
+fn flatfile_garbage_continuation_lines_are_quarantined() {
+    let fs = files(&[("prot.dat", GARBAGE_FLATFILE)]);
+    let (db, quarantine) = import_files_with(
+        "protkb",
+        SourceFormat::FlatFile,
+        &fs,
+        &ImportOptions::tolerant(4),
+    )
+    .unwrap();
+
+    assert_eq!(quarantine.len(), 1);
+    let rec = &quarantine.records()[0];
+    assert_eq!(rec.line, 3);
+    assert!(rec.reason.contains("without a line code"));
+    assert!(rec.excerpt.contains("orphaned continuation"));
+
+    // Both records load, and the fields around the garbage line survive.
+    let entry = db.table("prot_entry").unwrap();
+    assert_eq!(entry.row_count(), 2);
+    assert_eq!(
+        entry.cell(0, "de").unwrap(),
+        &aladin_relstore::Value::text("Serine kinase A")
+    );
+}
+
+#[test]
+fn flatfile_garbage_strict_mode_still_fails() {
+    let fs = files(&[("prot.dat", GARBAGE_FLATFILE)]);
+    let err = import_files("protkb", SourceFormat::FlatFile, &fs).unwrap_err();
+    assert!(matches!(err, ImportError::Malformed(_)));
+    assert!(err.to_string().contains("line 3"));
+}
+
+// --- XML: unclosed tags ----------------------------------------------------
+
+#[test]
+fn xml_unclosed_tag_quarantines_whole_file_but_other_files_load() {
+    let fs = files(&[
+        ("broken.xml", "<genedb><gene id=\"G1\"></genedb>"),
+        (
+            "good.xml",
+            "<genedb><gene id=\"G2\"><xref db=\"protkb\" accession=\"P1\"/></gene></genedb>",
+        ),
+    ]);
+    let (db, quarantine) = import_files_with(
+        "genedb",
+        SourceFormat::Xml,
+        &fs,
+        &ImportOptions::tolerant(2),
+    )
+    .unwrap();
+
+    // The broken document is one file-level quarantine entry (line 0).
+    assert_eq!(quarantine.len(), 1);
+    let rec = &quarantine.records()[0];
+    assert_eq!(rec.file, "broken.xml");
+    assert_eq!(rec.line, 0);
+    assert!(rec.reason.contains("unparseable XML document"));
+
+    // Nothing from the broken file, everything from the good one.
+    assert!(db.table("broken_gene").is_err());
+    assert_eq!(db.table("good_gene").unwrap().row_count(), 1);
+    assert_eq!(db.table("good_xref").unwrap().row_count(), 1);
+}
+
+#[test]
+fn xml_unclosed_tag_strict_mode_still_fails() {
+    let fs = files(&[("broken.xml", "<genedb><gene></genedb>")]);
+    let err = import_files("genedb", SourceFormat::Xml, &fs).unwrap_err();
+    assert!(matches!(err, ImportError::Malformed(_)));
+}
+
+// --- Tabular: ragged rows --------------------------------------------------
+
+const RAGGED_CSV: &str = "\
+gene_id,symbol,chromosome
+1,BRCA1,17
+2,TP53
+3,EGFR,7
+4,KRAS,12,extra
+5,MYC,8
+";
+
+#[test]
+fn tabular_ragged_rows_are_quarantined_and_valid_rows_load() {
+    let fs = files(&[("genes.csv", RAGGED_CSV)]);
+    let (db, quarantine) = import_files_with(
+        "genedb",
+        SourceFormat::Tabular,
+        &fs,
+        &ImportOptions::tolerant(4),
+    )
+    .unwrap();
+
+    assert_eq!(quarantine.len(), 2);
+    assert!(quarantine.records()[0]
+        .reason
+        .contains("expected 3 fields, found 2"));
+    assert_eq!(quarantine.records()[0].line, 3);
+    assert!(quarantine.records()[1]
+        .reason
+        .contains("expected 3 fields, found 4"));
+    assert_eq!(quarantine.records()[1].line, 5);
+
+    let t = db.table("genes").unwrap();
+    assert_eq!(t.row_count(), 3);
+    assert_eq!(
+        t.cell(2, "symbol").unwrap(),
+        &aladin_relstore::Value::text("MYC")
+    );
+}
+
+#[test]
+fn tabular_budget_exhaustion_fails_with_budget_exceeded() {
+    let fs = files(&[("genes.csv", RAGGED_CSV)]);
+    let err = import_files_with(
+        "genedb",
+        SourceFormat::Tabular,
+        &fs,
+        &ImportOptions::tolerant(1),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ImportError::BudgetExceeded {
+            quarantined: 2,
+            budget: 1
+        }
+    ));
+}
+
+// --- Budget spans all files of a source ------------------------------------
+
+#[test]
+fn error_budget_is_shared_across_files() {
+    let fs = files(&[
+        ("a.csv", "x,y\n1\n"),
+        ("b.csv", "x,y\n2\n"),
+        ("c.csv", "x,y\n3,3\n"),
+    ]);
+    // Budget 2 tolerates one ragged row in each of a.csv and b.csv...
+    let (db, quarantine) =
+        import_files_with("s", SourceFormat::Tabular, &fs, &ImportOptions::tolerant(2)).unwrap();
+    assert_eq!(quarantine.len(), 2);
+    assert_eq!(quarantine.for_file("a.csv").count(), 1);
+    assert_eq!(quarantine.for_file("b.csv").count(), 1);
+    assert_eq!(db.table("c").unwrap().row_count(), 1);
+
+    // ...but budget 1 fails on the second file's bad row.
+    let err = import_files_with("s", SourceFormat::Tabular, &fs, &ImportOptions::tolerant(1))
+        .unwrap_err();
+    assert!(matches!(err, ImportError::BudgetExceeded { .. }));
+}

@@ -2,7 +2,7 @@
 //! ALADIN, and score every discovery step against the recorded ground truth.
 
 use aladin::core::eval::{evaluate_links, evaluate_structure, ExpectedTruth};
-use aladin::core::{Aladin, AladinConfig};
+use aladin::core::{Aladin, AladinConfig, BatchErrorPolicy};
 use aladin::datagen::{Corpus, CorpusConfig, GroundTruth};
 
 /// Convert the generator's ground truth into the evaluator's plain-data form.
@@ -48,8 +48,19 @@ fn expected_truth(truth: &GroundTruth) -> ExpectedTruth {
     }
 }
 
+/// Batch error policy under test: `ALADIN_TEST_POLICY=continue` runs the
+/// suite with `ContinueOnError` (the CI fault job does this to prove the
+/// quarantining path is a no-op on healthy data); anything else keeps the
+/// default fail-fast policy.
+fn policy_from_env(mut config: AladinConfig) -> AladinConfig {
+    if std::env::var("ALADIN_TEST_POLICY").as_deref() == Ok("continue") {
+        config.batch_policy = BatchErrorPolicy::ContinueOnError;
+    }
+    config
+}
+
 fn integrate(corpus: &Corpus, config: AladinConfig) -> Aladin {
-    let mut aladin = Aladin::new(config);
+    let mut aladin = Aladin::new(policy_from_env(config));
     for dump in &corpus.sources {
         aladin
             .add_source_files(&dump.name, dump.format, &dump.files)

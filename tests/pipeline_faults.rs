@@ -1,0 +1,323 @@
+//! Fault-injection suite: end-to-end tests of the pipeline's fault
+//! tolerance. Corrupt dumps, flaky fetchers and injected analysis/pair
+//! faults are thrown at the integration pipeline, which must respond with
+//! the documented containment: transactional rollback (nothing committed on
+//! failure), per-source quarantine under `ContinueOnError`, per-pair panic
+//! isolation, import quarantine within a budget, and bounded retry at the
+//! reader.
+
+use aladin::core::{
+    Aladin, AladinConfig, AladinError, BatchErrorPolicy, FaultInjection, Link, SourceStructure,
+};
+use aladin::datagen::{
+    corrupt_bytes, corrupt_dump, Corpus, CorpusConfig, FaultConfig, FlakyFetcher,
+};
+use aladin::import::{
+    import_fetched, ImportError, ImportOptions, MemoryFetcher, RetryPolicy, SourceFormat,
+};
+use std::time::Duration;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig::small(42))
+}
+
+fn config() -> AladinConfig {
+    AladinConfig::default()
+}
+
+/// Everything observable about the integrated state, minus wall-clock
+/// timings: source names, discovered links and duplicates, and the full
+/// per-source structures. Two warehouses with equal fingerprints answer
+/// every browse/search/query identically.
+type Fingerprint = (Vec<String>, Vec<Link>, Vec<Link>, Vec<SourceStructure>);
+
+fn fingerprint(aladin: &Aladin) -> Fingerprint {
+    let sources: Vec<String> = aladin
+        .source_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let structures: Vec<SourceStructure> = sources
+        .iter()
+        .filter_map(|s| aladin.metadata().structure(s).cloned())
+        .collect();
+    (
+        sources,
+        aladin.metadata().links().to_vec(),
+        aladin.metadata().duplicates().to_vec(),
+        structures,
+    )
+}
+
+#[test]
+fn quarantined_source_leaves_warehouse_identical_to_healthy_only_batch() {
+    let corpus = corpus();
+    let sick = "genedb";
+
+    // Batch with one failing source under ContinueOnError.
+    let mut cfg = config();
+    cfg.faults.fail_analysis.push(sick.to_string());
+    let mut with_fault = Aladin::new(cfg);
+    let report = with_fault
+        .add_databases_with(
+            corpus.import_all().unwrap(),
+            BatchErrorPolicy::ContinueOnError,
+        )
+        .unwrap();
+    assert_eq!(report.quarantined().count(), 1);
+    assert_eq!(report.quarantined().next().unwrap().source, sick);
+    assert_eq!(report.integrated().count(), corpus.sources.len() - 1);
+    assert!(!report.is_complete());
+
+    // Reference: the same batch without the sick source at all.
+    let mut healthy_only = Aladin::new(config());
+    let healthy: Vec<_> = corpus
+        .import_all()
+        .unwrap()
+        .into_iter()
+        .filter(|db| db.name() != sick)
+        .collect();
+    healthy_only.add_databases(healthy).unwrap();
+
+    // The quarantined source must have left no trace: links, duplicates and
+    // structures are identical to never having offered it.
+    assert_eq!(fingerprint(&with_fault), fingerprint(&healthy_only));
+}
+
+#[test]
+fn fail_fast_batch_failure_rolls_back_everything() {
+    let corpus = corpus();
+    let mut aladin = Aladin::new(config());
+    let mut dbs = corpus.import_all().unwrap();
+    let late = dbs.split_off(3);
+    aladin.add_databases(dbs).unwrap();
+    let before = fingerprint(&aladin);
+    let generation = aladin.metadata().generation();
+
+    // Arm a failure for a source in the middle of the second batch.
+    let sick = late[1].name().to_string();
+    aladin.set_faults(FaultInjection {
+        fail_analysis: vec![sick],
+        ..FaultInjection::default()
+    });
+    let err = aladin.add_databases(late).unwrap_err();
+    assert!(err.to_string().contains("injected analysis failure"));
+
+    // Nothing of the failed batch was committed — not even the sources
+    // staged before the failing one.
+    assert_eq!(fingerprint(&aladin), before);
+    assert_eq!(aladin.metadata().generation(), generation);
+
+    // Disarmed, the same batch lands in full.
+    aladin.set_faults(FaultInjection::default());
+    let late: Vec<_> = corpus.import_all().unwrap().into_iter().skip(3).collect();
+    aladin.add_databases(late).unwrap();
+    assert_eq!(aladin.source_count(), corpus.sources.len());
+}
+
+#[test]
+fn analysis_panic_is_contained_and_reported_as_partial_integration() {
+    let corpus = corpus();
+    let sick = "archive";
+    let mut cfg = config().with_batch_policy(BatchErrorPolicy::ContinueOnError);
+    cfg.faults.panic_analysis.push(sick.to_string());
+    let mut aladin = Aladin::new(cfg);
+    let err = aladin
+        .add_databases(corpus.import_all().unwrap())
+        .unwrap_err();
+    match err {
+        AladinError::PartialIntegration { failures } => {
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].source, sick);
+            assert!(failures[0].error.to_string().contains("panicked"));
+        }
+        other => panic!("expected PartialIntegration, got {other:?}"),
+    }
+    assert_eq!(aladin.source_count(), corpus.sources.len() - 1);
+    assert!(aladin.database(sick).is_err());
+}
+
+#[test]
+fn injected_pair_panic_is_contained_and_recorded_in_metrics() {
+    let corpus = corpus();
+    let import = |name: &str| corpus.source(name).unwrap().import().unwrap();
+
+    // Healthy reference: protkb and structdb cross-reference each other.
+    let mut healthy = Aladin::new(config());
+    healthy.add_database(import("protkb")).unwrap();
+    let healthy_report = healthy.add_database(import("structdb")).unwrap();
+    assert!(healthy_report.explicit_links > 0);
+    assert!(healthy_report.pair_failures.is_empty());
+
+    // Same order, with the structdb-vs-protkb pair job panicking.
+    let mut faulty = Aladin::new(config());
+    faulty.add_database(import("protkb")).unwrap();
+    faulty.set_faults(FaultInjection {
+        panic_pairs: vec![("structdb".to_string(), "protkb".to_string())],
+        ..FaultInjection::default()
+    });
+    let report = faulty.add_database(import("structdb")).unwrap();
+
+    // The pair was skipped, not the run: both sources are integrated, the
+    // skipped pair produced no links, and the failure is on the record.
+    assert_eq!(faulty.source_count(), 2);
+    assert_eq!(report.explicit_links, 0);
+    assert_eq!(report.pair_failures.len(), 1);
+    let failure = &report.pair_failures[0];
+    assert_eq!(failure.source, "structdb");
+    assert_eq!(failure.pair, "protkb");
+    assert!(failure.error.contains("injected pair panic"));
+
+    let metrics = faulty.metrics();
+    assert_eq!(metrics.failures, vec![failure.clone()]);
+}
+
+#[test]
+fn failed_refresh_rolls_back_to_the_pre_refresh_generation() {
+    let corpus = corpus();
+    let import = |name: &str| corpus.source(name).unwrap().import().unwrap();
+    let mut aladin = Aladin::new(config());
+    aladin.add_database(import("protkb")).unwrap();
+    aladin.add_database(import("structdb")).unwrap();
+    let before = fingerprint(&aladin);
+    let generation = aladin.metadata().generation();
+
+    // The refresh's re-discovery against structdb fails.
+    aladin.set_faults(FaultInjection {
+        fail_pairs: vec![("protkb".to_string(), "structdb".to_string())],
+        ..FaultInjection::default()
+    });
+    let err = aladin.refresh_source(import("protkb"), 1.0).unwrap_err();
+    assert!(err.to_string().contains("injected pair failure"));
+
+    // The stale version survived intact: same generation, same state.
+    assert_eq!(aladin.metadata().generation(), generation);
+    assert_eq!(fingerprint(&aladin), before);
+    assert!(aladin.database("protkb").is_ok());
+
+    // Disarmed, the same refresh succeeds and moves the generation.
+    aladin.set_faults(FaultInjection::default());
+    assert!(aladin
+        .refresh_source(import("protkb"), 1.0)
+        .unwrap()
+        .is_some());
+    assert!(aladin.metadata().generation() > generation);
+}
+
+#[test]
+fn corrupted_dump_fails_strict_import_and_is_quarantined_within_budget() {
+    let corpus = corpus();
+    let tabular = corpus
+        .sources
+        .iter()
+        .find(|s| s.format == SourceFormat::Tabular)
+        .expect("corpus has a tabular source");
+    let corrupt = corrupt_dump(
+        tabular,
+        &FaultConfig {
+            garbage_rate: 1.0,
+            ..FaultConfig::none(9)
+        },
+    );
+
+    // Strict (default budget 0): the source fails, nothing is integrated.
+    let mut strict = Aladin::new(config());
+    let err = strict
+        .add_source_files(&corrupt.name, corrupt.format, &corrupt.files)
+        .unwrap_err();
+    assert!(matches!(err, AladinError::Import(_)));
+    assert_eq!(strict.source_count(), 0);
+
+    // Tolerant: the garbage is quarantined record by record, the healthy
+    // rows load, and the report says what was dropped.
+    let mut tolerant = Aladin::new(config().with_import_error_budget(100_000));
+    let report = tolerant
+        .add_source_files(&corrupt.name, corrupt.format, &corrupt.files)
+        .unwrap();
+    assert!(!report.quarantined.is_empty());
+    assert!(report.rows > 0);
+    assert_eq!(tolerant.source_count(), 1);
+    for record in &report.quarantined {
+        assert!(!record.reason.is_empty());
+        assert!(record.line > 0);
+    }
+}
+
+#[test]
+fn transient_fetch_failures_are_retried_and_permanent_ones_are_not() {
+    let corpus = corpus();
+    let tabular = corpus
+        .sources
+        .iter()
+        .find(|s| s.format == SourceFormat::Tabular)
+        .unwrap();
+
+    // Two transient failures per file, three attempts allowed: every file
+    // lands on its third try.
+    let mut flaky = FlakyFetcher::over(tabular).with_transient_failures(2);
+    let options = ImportOptions::strict().with_retry(RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::ZERO,
+    });
+    let (db, _) = import_fetched(&tabular.name, tabular.format, &mut flaky, &options).unwrap();
+    assert!(db.total_rows() > 0);
+    assert_eq!(flaky.attempts(), 3 * tabular.files.len());
+
+    // Without retries the first transient failure is fatal.
+    let mut flaky = FlakyFetcher::over(tabular).with_transient_failures(2);
+    let err = import_fetched(
+        &tabular.name,
+        tabular.format,
+        &mut flaky,
+        &ImportOptions::strict(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ImportError::Io { attempts: 1, .. }));
+
+    // A permanently broken file is never retried, whatever the budget.
+    let broken_file = tabular.files[0].0.clone();
+    let mut flaky = FlakyFetcher::over(tabular).with_broken_file(&broken_file);
+    let err = import_fetched(&tabular.name, tabular.format, &mut flaky, &options).unwrap_err();
+    assert!(matches!(err, ImportError::Io { attempts: 1, .. }));
+}
+
+#[test]
+fn invalid_utf8_fails_strict_and_is_replaced_and_quarantined_tolerantly() {
+    let corpus = corpus();
+    let tabular = corpus
+        .sources
+        .iter()
+        .find(|s| s.format == SourceFormat::Tabular)
+        .unwrap();
+    let bytes = corrupt_bytes(
+        tabular,
+        &FaultConfig {
+            invalid_utf8: true,
+            ..FaultConfig::none(3)
+        },
+    );
+
+    let mut fetcher = MemoryFetcher::new(bytes.clone());
+    let err = import_fetched(
+        &tabular.name,
+        tabular.format,
+        &mut fetcher,
+        &ImportOptions::strict(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("invalid UTF-8"));
+
+    let mut fetcher = MemoryFetcher::new(bytes);
+    let (db, quarantine) = import_fetched(
+        &tabular.name,
+        tabular.format,
+        &mut fetcher,
+        &ImportOptions::tolerant(100),
+    )
+    .unwrap();
+    assert!(db.total_rows() > 0);
+    assert!(quarantine
+        .records()
+        .iter()
+        .any(|r| r.reason.contains("invalid UTF-8")));
+}
