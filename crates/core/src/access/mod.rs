@@ -59,4 +59,6 @@ pub use query::QueryEngine;
 #[allow(deprecated)]
 pub use search::SearchEngine;
 pub use search::{ObjectHit, SearchIndex};
-pub use warehouse::{AttrFilter, ObjectCursor, ObjectQuery, ObjectRecord, RecordOrigin, Warehouse};
+pub use warehouse::{
+    AttrFilter, ObjectCursor, ObjectQuery, ObjectRecord, QuerySpec, RecordOrigin, Warehouse,
+};

@@ -52,13 +52,13 @@ use crate::access::browse::{
 };
 use crate::access::query::{build_join_path_plan, cross_source_over, run_sql};
 use crate::access::search::{ObjectHit, SearchIndex};
-use crate::config::{AladinConfig, BatchErrorPolicy};
+use crate::config::{AladinConfig, BatchErrorPolicy, FaultInjection};
 use crate::error::{AladinError, AladinResult};
 use crate::metadata::{LinkAdjacency, LinkKind, MetadataRepository, ObjectRef, PipelineMetrics};
 use crate::pipeline::{Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan};
 use aladin_import::SourceFormat;
 use aladin_relstore::expr::like_match;
-use aladin_relstore::plan::SortKey;
+use aladin_relstore::plan::{fingerprint_bytes, SortKey};
 use aladin_relstore::{Database, Expr, LogicalPlan, Table, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -91,6 +91,15 @@ impl AccessCaches {
         let adjacency = aladin.metadata().build_adjacency();
         let mut rows: RowIndex = HashMap::new();
         for source in aladin.source_names() {
+            if aladin
+                .config()
+                .faults
+                .panic_cache_build
+                .iter()
+                .any(|s| s == source)
+            {
+                panic!("fault injection: cache build panics on source '{source}'");
+            }
             let structure = match aladin.metadata().structure(source) {
                 Some(s) => s,
                 None => continue,
@@ -259,16 +268,29 @@ impl Warehouse {
         self.aladin.set_link_plan(plan)
     }
 
+    /// Replace the fault-injection configuration (tests and the
+    /// fault-tolerance harness; delegates to
+    /// [`crate::pipeline::Aladin::set_faults`]).
+    pub fn set_faults(&mut self, faults: FaultInjection) {
+        self.aladin.set_faults(faults)
+    }
+
     // -- caches -------------------------------------------------------------
 
     /// Current caches, rebuilt if the metadata generation moved since they
     /// were last built.
     fn caches(&self) -> AladinResult<Arc<AccessCaches>> {
         let generation = self.aladin.metadata().generation();
-        // The caches are a pure function of the pipeline state, so a lock
-        // poisoned by a panicking reader holds nothing corrupt — tolerate it
-        // (and rebuild below if the stored value is stale) rather than
-        // cascade the panic into every later access.
+        // A poisoned lock means a previous build panicked while the write
+        // guard was held, i.e. the stored cache may be mid-construction.
+        // Recovery discards it and clears the flag — the caches are a pure
+        // function of the pipeline state and rebuild below — rather than
+        // trusting the suspect value or cascading the panic into every later
+        // access.
+        if self.caches.is_poisoned() {
+            self.caches.clear_poison();
+            *self.caches.write().unwrap_or_else(PoisonError::into_inner) = None;
+        }
         if let Some(caches) = self
             .caches
             .read()
@@ -279,8 +301,18 @@ impl Warehouse {
                 return Ok(Arc::clone(caches));
             }
         }
+        // Build while holding the write lock: concurrent readers that miss
+        // serialize on one rebuild instead of racing N identical builds, and
+        // a panicking build poisons the lock so the next access knows the
+        // stored value is suspect.
+        let mut slot = self.caches.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(caches) = slot.as_ref() {
+            if caches.generation == generation {
+                return Ok(Arc::clone(caches));
+            }
+        }
         let built = Arc::new(AccessCaches::build(&self.aladin)?);
-        *self.caches.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&built));
+        *slot = Some(Arc::clone(&built));
         Ok(built)
     }
 
@@ -405,19 +437,13 @@ impl Warehouse {
 
     /// Start a query from a full scan of every primary object (browse mode).
     pub fn scan(&self) -> ObjectQuery<'_> {
-        ObjectQuery::new(self, QueryRoot::Scan)
+        self.query(QuerySpec::scan())
     }
 
     /// Start a query from a ranked keyword search (search mode). The best
     /// [`ObjectQuery::search_limit`] hits seed the pipeline, in rank order.
     pub fn search(&self, text: impl Into<String>) -> ObjectQuery<'_> {
-        ObjectQuery::new(
-            self,
-            QueryRoot::Search {
-                text: text.into(),
-                top_k: DEFAULT_SEARCH_LIMIT,
-            },
-        )
+        self.query(QuerySpec::search(text))
     }
 
     /// Start a query from a single accession lookup (query mode entry).
@@ -426,13 +452,18 @@ impl Warehouse {
         source: impl Into<String>,
         accession: impl Into<String>,
     ) -> ObjectQuery<'_> {
-        ObjectQuery::new(
-            self,
-            QueryRoot::Accession {
-                source: source.into(),
-                accession: accession.into(),
-            },
-        )
+        self.query(QuerySpec::accession(source, accession))
+    }
+
+    /// Bind an owned [`QuerySpec`] to this warehouse for execution. This is
+    /// how pre-built (or cached-key) query descriptions run: specs are plain
+    /// data, so they can be constructed elsewhere, shared across threads,
+    /// and executed against any warehouse.
+    pub fn query(&self, spec: QuerySpec) -> ObjectQuery<'_> {
+        ObjectQuery {
+            warehouse: self,
+            spec,
+        }
     }
 }
 
@@ -593,14 +624,14 @@ impl AttrFilter {
 // The query builder
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum QueryRoot {
     Scan,
     Search { text: String, top_k: usize },
     Accession { source: String, accession: String },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum QueryOp {
     FromSource(String),
     Filter(AttrFilter),
@@ -610,13 +641,14 @@ enum QueryOp {
     },
 }
 
-/// A composable query over the warehouse's object population. Stages apply
-/// in the order they are chained, so `search(..).follow_links(..)
-/// .from_source(..)` reads exactly as it executes. Obtained from
-/// [`Warehouse::scan`], [`Warehouse::search`] or [`Warehouse::accession`].
-#[derive(Debug, Clone)]
-pub struct ObjectQuery<'w> {
-    warehouse: &'w Warehouse,
+/// An owned, warehouse-independent description of an [`ObjectQuery`]: the
+/// root, the chained pipeline stages, annotation joins and pagination. Specs
+/// are plain data — buildable without borrowing a warehouse, shareable
+/// across threads, comparable, and bindable to any warehouse via
+/// [`Warehouse::query`]. [`QuerySpec::fingerprint`] gives the normalized
+/// 64-bit key the serving layer's result cache is keyed on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
     root: QueryRoot,
     ops: Vec<QueryOp>,
     annotations: Vec<String>,
@@ -624,10 +656,9 @@ pub struct ObjectQuery<'w> {
     offset: usize,
 }
 
-impl<'w> ObjectQuery<'w> {
-    fn new(warehouse: &'w Warehouse, root: QueryRoot) -> ObjectQuery<'w> {
-        ObjectQuery {
-            warehouse,
+impl QuerySpec {
+    fn with_root(root: QueryRoot) -> QuerySpec {
+        QuerySpec {
             root,
             ops: Vec::new(),
             annotations: Vec::new(),
@@ -636,9 +667,28 @@ impl<'w> ObjectQuery<'w> {
         }
     }
 
-    /// Keep only objects of one source (applies at this point of the chain:
-    /// before a `follow_links` it restricts the seeds, after it the reached
-    /// objects).
+    /// A spec rooted at a full scan of every primary object.
+    pub fn scan() -> QuerySpec {
+        QuerySpec::with_root(QueryRoot::Scan)
+    }
+
+    /// A spec rooted at a ranked keyword search.
+    pub fn search(text: impl Into<String>) -> QuerySpec {
+        QuerySpec::with_root(QueryRoot::Search {
+            text: text.into(),
+            top_k: DEFAULT_SEARCH_LIMIT,
+        })
+    }
+
+    /// A spec rooted at a single accession lookup.
+    pub fn accession(source: impl Into<String>, accession: impl Into<String>) -> QuerySpec {
+        QuerySpec::with_root(QueryRoot::Accession {
+            source: source.into(),
+            accession: accession.into(),
+        })
+    }
+
+    /// Keep only objects of one source (applies at this point of the chain).
     pub fn from_source(mut self, source: impl Into<String>) -> Self {
         self.ops.push(QueryOp::FromSource(source.into()));
         self
@@ -651,10 +701,7 @@ impl<'w> ObjectQuery<'w> {
     }
 
     /// Replace the current object set with the objects reachable over
-    /// discovered links within `depth` hops (breadth-first, seeds excluded).
-    /// `kind` restricts which links are followed; `None` follows every
-    /// non-duplicate kind (pass `Some(LinkKind::Duplicate)` explicitly to
-    /// traverse duplicate links).
+    /// discovered links within `depth` hops.
     pub fn follow_links(mut self, kind: Option<LinkKind>, depth: usize) -> Self {
         self.ops.push(QueryOp::FollowLinks { kind, depth });
         self
@@ -679,12 +726,94 @@ impl<'w> ObjectQuery<'w> {
         self
     }
 
-    /// For search-rooted queries: how many ranked hits seed the pipeline
+    /// For search-rooted specs: how many ranked hits seed the pipeline
     /// (default 50).
     pub fn search_limit(mut self, top_k: usize) -> Self {
         if let QueryRoot::Search { top_k: k, .. } = &mut self.root {
             *k = top_k;
         }
+        self
+    }
+
+    /// A stable 64-bit fingerprint of the spec (FNV-1a over the canonical
+    /// structural rendering, kind-prefixed so spec keys can never collide
+    /// with the serving layer's SQL or plan keys). Two specs fingerprint
+    /// equal exactly when they compare equal.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_bytes(format!("query:{self:?}").as_bytes())
+    }
+}
+
+/// A composable query over the warehouse's object population. Stages apply
+/// in the order they are chained, so `search(..).follow_links(..)
+/// .from_source(..)` reads exactly as it executes. Obtained from
+/// [`Warehouse::scan`], [`Warehouse::search`], [`Warehouse::accession`], or
+/// by binding an owned [`QuerySpec`] with [`Warehouse::query`].
+#[derive(Debug, Clone)]
+pub struct ObjectQuery<'w> {
+    warehouse: &'w Warehouse,
+    spec: QuerySpec,
+}
+
+impl<'w> ObjectQuery<'w> {
+    /// The owned description of this query (cheap to clone; the cache key of
+    /// the serving layer).
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Unbind the query from the warehouse, keeping the owned spec.
+    pub fn into_spec(self) -> QuerySpec {
+        self.spec
+    }
+
+    /// Keep only objects of one source (applies at this point of the chain:
+    /// before a `follow_links` it restricts the seeds, after it the reached
+    /// objects).
+    pub fn from_source(mut self, source: impl Into<String>) -> Self {
+        self.spec = self.spec.from_source(source);
+        self
+    }
+
+    /// Keep only objects whose primary-relation row matches the filter.
+    pub fn filter(mut self, filter: AttrFilter) -> Self {
+        self.spec = self.spec.filter(filter);
+        self
+    }
+
+    /// Replace the current object set with the objects reachable over
+    /// discovered links within `depth` hops (breadth-first, seeds excluded).
+    /// `kind` restricts which links are followed; `None` follows every
+    /// non-duplicate kind (pass `Some(LinkKind::Duplicate)` explicitly to
+    /// traverse duplicate links).
+    pub fn follow_links(mut self, kind: Option<LinkKind>, depth: usize) -> Self {
+        self.spec = self.spec.follow_links(kind, depth);
+        self
+    }
+
+    /// Attach the annotation rows of one secondary table to every fetched
+    /// record (repeatable).
+    pub fn join_annotation(mut self, table: impl Into<String>) -> Self {
+        self.spec = self.spec.join_annotation(table);
+        self
+    }
+
+    /// Keep at most `n` results (applied after all pipeline stages).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.spec = self.spec.limit(n);
+        self
+    }
+
+    /// Skip the first `n` results (applied before the limit).
+    pub fn offset(mut self, n: usize) -> Self {
+        self.spec = self.spec.offset(n);
+        self
+    }
+
+    /// For search-rooted queries: how many ranked hits seed the pipeline
+    /// (default 50).
+    pub fn search_limit(mut self, top_k: usize) -> Self {
+        self.spec = self.spec.search_limit(top_k);
         self
     }
 
@@ -696,7 +825,7 @@ impl<'w> ObjectQuery<'w> {
             return Ok(hits);
         }
         let aladin = &self.warehouse.aladin;
-        let mut hits: Vec<(ObjectRef, RecordOrigin)> = match &self.root {
+        let mut hits: Vec<(ObjectRef, RecordOrigin)> = match &self.spec.root {
             QueryRoot::Scan => {
                 let mut out = Vec::new();
                 for source in aladin.source_names() {
@@ -720,7 +849,7 @@ impl<'w> ObjectQuery<'w> {
             }
         };
 
-        for op in &self.ops {
+        for op in &self.spec.ops {
             match op {
                 QueryOp::FromSource(source) => {
                     // Surface typos instead of silently returning nothing.
@@ -760,12 +889,12 @@ impl<'w> ObjectQuery<'w> {
         &self,
         caches: &AccessCaches,
     ) -> Option<Vec<(ObjectRef, RecordOrigin)>> {
-        if !matches!(self.root, QueryRoot::Scan) {
+        if !matches!(self.spec.root, QueryRoot::Scan) {
             return None;
         }
         let mut source: Option<&str> = None;
         let mut filters: Vec<&AttrFilter> = Vec::new();
-        for op in &self.ops {
+        for op in &self.spec.ops {
             match op {
                 QueryOp::FromSource(s) => {
                     // Two different sources empty the result; let the slow
@@ -810,8 +939,8 @@ impl<'w> ObjectQuery<'w> {
     }
 
     fn page(&self, hits: &[(ObjectRef, RecordOrigin)]) -> std::ops::Range<usize> {
-        let start = self.offset.min(hits.len());
-        let end = match self.limit {
+        let start = self.spec.offset.min(hits.len());
+        let end = match self.spec.limit {
             Some(n) => (start + n).min(hits.len()),
             None => hits.len(),
         };
@@ -827,7 +956,7 @@ impl<'w> ObjectQuery<'w> {
             &self.warehouse.aladin,
             &caches,
             &hits[range],
-            &self.annotations,
+            &self.spec.annotations,
         )
     }
 
@@ -850,7 +979,7 @@ impl<'w> ObjectQuery<'w> {
         Ok(ObjectCursor {
             warehouse: self.warehouse,
             hits: hits[range].to_vec(),
-            annotations: self.annotations.clone(),
+            annotations: self.spec.annotations.clone(),
             page_size: page_size.max(1),
             position: 0,
         })
@@ -882,10 +1011,10 @@ impl<'w> ObjectQuery<'w> {
         let aladin = &self.warehouse.aladin;
 
         // Determine the single source the plan runs against.
-        let (source, accession) = match &self.root {
+        let (source, accession) = match &self.spec.root {
             QueryRoot::Accession { source, accession } => (source.clone(), Some(accession.clone())),
             QueryRoot::Scan => {
-                let from = self.ops.iter().find_map(|op| match op {
+                let from = self.spec.ops.iter().find_map(|op| match op {
                     QueryOp::FromSource(s) => Some(s.clone()),
                     _ => None,
                 });
@@ -904,6 +1033,7 @@ impl<'w> ObjectQuery<'w> {
             )),
         };
         if self
+            .spec
             .ops
             .iter()
             .any(|op| matches!(op, QueryOp::FollowLinks { .. }))
@@ -913,7 +1043,7 @@ impl<'w> ObjectQuery<'w> {
                     .into(),
             ));
         }
-        if self.annotations.len() > 1 {
+        if self.spec.annotations.len() > 1 {
             return Err(AladinError::Discovery(
                 "plan() supports at most one join_annotation table".into(),
             ));
@@ -937,13 +1067,13 @@ impl<'w> ObjectQuery<'w> {
             }
         };
 
-        let mut plan = match self.annotations.first() {
+        let mut plan = match self.spec.annotations.first() {
             Some(table) => build_join_path_plan(aladin, &source, table)?,
             None => LogicalPlan::scan(primary.table.clone()),
         };
         let mut predicate: Option<Expr> = accession
             .map(|acc| Expr::col(primary.accession_column.clone()).eq(Expr::lit(Value::text(acc))));
-        for op in &self.ops {
+        for op in &self.spec.ops {
             if let QueryOp::Filter(filter) = op {
                 let e = filter.to_expr()?;
                 predicate = Some(match predicate {
@@ -961,10 +1091,10 @@ impl<'w> ObjectQuery<'w> {
             column: primary.accession_column.clone(),
             ascending: true,
         }]);
-        if self.offset > 0 {
-            plan = plan.offset(self.offset);
+        if self.spec.offset > 0 {
+            plan = plan.offset(self.spec.offset);
         }
-        if let Some(limit) = self.limit {
+        if let Some(limit) = self.spec.limit {
             plan = plan.limit(limit);
         }
         Ok((source, plan))
@@ -1546,6 +1676,109 @@ mod tests {
                 .unwrap(),
             1
         );
+    }
+
+    #[test]
+    fn query_specs_are_owned_reusable_and_fingerprinted() {
+        let w = warehouse();
+
+        // A spec built without a warehouse executes identically to the
+        // equivalently chained query.
+        let spec = QuerySpec::scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("de", "kinase"))
+            .limit(5);
+        let via_spec = w.query(spec.clone()).fetch().unwrap();
+        let chained = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("de", "kinase"))
+            .limit(5);
+        assert_eq!(chained.spec(), &spec);
+        assert_eq!(via_spec, chained.fetch().unwrap());
+        assert_eq!(chained.into_spec(), spec);
+
+        // Fingerprints are stable, equality-faithful, and sensitive to every
+        // component of the spec.
+        assert_eq!(spec.fingerprint(), spec.clone().fingerprint());
+        for other in [
+            QuerySpec::scan()
+                .from_source("protkb")
+                .filter(AttrFilter::contains("de", "kinase")), // no limit
+            spec.clone().offset(1),
+            spec.clone().join_annotation("protkb_dr"),
+            QuerySpec::search("kinase"),
+            QuerySpec::search("kinase").search_limit(10),
+            QuerySpec::accession("protkb", "P10001"),
+        ] {
+            assert_ne!(spec.fingerprint(), other.fingerprint(), "{other:?}");
+        }
+        // Op order matters (stages apply in chain order).
+        let a = QuerySpec::scan()
+            .from_source("protkb")
+            .follow_links(None, 1);
+        let b = QuerySpec::scan()
+            .follow_links(None, 1)
+            .from_source("protkb");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn poisoned_mid_construction_cache_is_discarded_and_rebuilt() {
+        let mut w = warehouse();
+        w.warm().unwrap();
+        let hits_before = w.search_hits("kinase", 5).unwrap();
+
+        // Arm the fault and move the generation so the next access must
+        // rebuild: that rebuild panics *while the cache write guard is
+        // held*, leaving the lock poisoned with the cache mid-construction.
+        w.set_faults(FaultInjection {
+            panic_cache_build: vec!["protkb".into()],
+            ..Default::default()
+        });
+        let mut extra = Database::new("ontodb");
+        extra
+            .create_table(
+                "terms",
+                TableSchema::of(vec![ColumnDef::text("term_id"), ColumnDef::text("name")]),
+            )
+            .unwrap();
+        extra
+            .insert(
+                "terms",
+                vec![Value::text("GO:1"), Value::text("kinase activity")],
+            )
+            .unwrap();
+        extra
+            .insert("terms", vec![Value::text("GO:2"), Value::text("transport")])
+            .unwrap();
+        w.add_database(extra).unwrap();
+        let generation = w.metadata().generation();
+
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.search_hits("kinase", 5)))
+                .is_err();
+        assert!(panicked, "armed cache build must panic");
+
+        // While the fault stays armed every rebuild dies the same way, so
+        // recovery is exercised repeatedly, not just once.
+        let panicked_again =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.scan().count())).is_err();
+        assert!(panicked_again);
+
+        // Disarm: the next access discards the mid-construction cache,
+        // clears the poison and rebuilds from scratch.
+        w.set_faults(FaultInjection::default());
+        let hits = w.search_hits("kinase", 10).unwrap();
+        assert!(hits.iter().any(|h| h.object.source == "ontodb"));
+        assert!(hits
+            .iter()
+            .any(|h| hits_before.iter().any(|b| b.object == h.object)));
+        assert_eq!(w.cached_generation(), Some(generation));
+        // Every access mode serves normally after recovery.
+        assert_eq!(w.scan().from_source("ontodb").count().unwrap(), 2);
+        let obj = w.find_object("protkb", "P10001").unwrap();
+        assert!(!w.view(&obj).unwrap().attributes.is_empty());
     }
 
     #[test]

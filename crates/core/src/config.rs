@@ -107,6 +107,11 @@ pub struct FaultInjection {
     /// Pairwise link/duplicate jobs over these (unordered) source pairs
     /// panic inside their job.
     pub panic_pairs: Vec<(String, String)>,
+    /// Building the warehouse access caches panics while processing these
+    /// sources — *while the cache write lock is held*, so the lock poisons
+    /// with the cache mid-construction. Exercises the poisoning-recovery
+    /// path of `Warehouse`.
+    pub panic_cache_build: Vec<String>,
 }
 
 impl FaultInjection {
@@ -116,6 +121,7 @@ impl FaultInjection {
             && self.panic_analysis.is_empty()
             && self.fail_pairs.is_empty()
             && self.panic_pairs.is_empty()
+            && self.panic_cache_build.is_empty()
     }
 
     /// True when `pairs` contains `(a, b)` in either order.
@@ -391,5 +397,10 @@ mod tests {
         assert!(f.is_inert());
         f.panic_pairs = pairs;
         assert!(!f.is_inert());
+        let cache_fault = FaultInjection {
+            panic_cache_build: vec!["protkb".into()],
+            ..Default::default()
+        };
+        assert!(!cache_fault.is_inert());
     }
 }

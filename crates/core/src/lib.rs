@@ -29,6 +29,8 @@
 //! The [`pipeline::Aladin`] type orchestrates the process and supports
 //! incremental source addition and threshold-based re-analysis; the
 //! [`access`] module provides the three access modes (browse, search, query);
+//! [`serve`] layers MVCC snapshot reads and a bounded query cache on top so
+//! N reader threads keep querying while one writer integrates;
 //! [`metadata`] is the central metadata repository; [`eval`] computes the
 //! precision/recall measures the paper proposes to estimate against a known
 //! integrated database.
@@ -51,9 +53,10 @@ pub mod pipeline;
 pub mod primary;
 pub mod relationships;
 pub mod secondary;
+pub mod serve;
 pub mod unique;
 
-pub use access::{ObjectQuery, ObjectRecord, Warehouse};
+pub use access::{ObjectQuery, ObjectRecord, QuerySpec, Warehouse};
 pub use config::{AladinConfig, BatchErrorPolicy, DuplicateCandidates, FaultInjection};
 pub use error::{AladinError, AladinResult, SourceFailure};
 pub use metadata::{
@@ -62,3 +65,4 @@ pub use metadata::{
 };
 pub use parallel::JobPanic;
 pub use pipeline::{Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan, SourceOutcome};
+pub use serve::{ServeConfig, ServeMetrics, Server, Snapshot};

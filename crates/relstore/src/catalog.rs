@@ -8,7 +8,7 @@ use crate::stats::{profile_column, ColumnStats};
 use crate::table::{Row, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Lazily built access paths over the catalog's tables: hash indexes and
 /// column statistics, keyed by lowercase `(table, column)`. Entries are built
@@ -20,11 +20,48 @@ struct AccessPaths {
     stats: RwLock<HashMap<(String, String), Arc<ColumnStats>>>,
 }
 
+/// Acquire a cache lock for reading, recovering from poisoning first. A
+/// panic while the write guard was held may have left a half-built entry in
+/// the map, so recovery discards the whole map — it only holds derived data
+/// that rebuilds on demand — and clears the poison flag, instead of
+/// cascading the original panic into every later access.
+fn cache_read<K, V>(lock: &RwLock<HashMap<K, V>>) -> RwLockReadGuard<'_, HashMap<K, V>> {
+    if lock.is_poisoned() {
+        lock.clear_poison();
+        lock.write().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a cache lock for writing, with the same discard-and-clear
+/// poisoning recovery as [`cache_read`].
+fn cache_write<K, V>(lock: &RwLock<HashMap<K, V>>) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+    let poisoned = lock.is_poisoned();
+    lock.clear_poison();
+    let mut guard = lock.write().unwrap_or_else(PoisonError::into_inner);
+    if poisoned {
+        guard.clear();
+    }
+    guard
+}
+
+/// Exclusive access to a cache map through `&mut`, with the same
+/// discard-and-clear poisoning recovery as [`cache_read`].
+fn cache_get_mut<K, V>(lock: &mut RwLock<HashMap<K, V>>) -> &mut HashMap<K, V> {
+    let poisoned = lock.is_poisoned();
+    lock.clear_poison();
+    let map = lock.get_mut().unwrap_or_else(PoisonError::into_inner);
+    if poisoned {
+        map.clear();
+    }
+    map
+}
+
 impl Clone for AccessPaths {
     fn clone(&self) -> AccessPaths {
         AccessPaths {
-            indexes: RwLock::new(self.indexes.read().expect("index cache lock").clone()),
-            stats: RwLock::new(self.stats.read().expect("stats cache lock").clone()),
+            indexes: RwLock::new(cache_read(&self.indexes).clone()),
+            stats: RwLock::new(cache_read(&self.stats).clone()),
         }
     }
 }
@@ -139,16 +176,8 @@ impl Database {
     /// Drop cached access paths for one table after a mutable access.
     fn invalidate_access_paths(&mut self, table: &str) {
         let key = table.to_ascii_lowercase();
-        self.access
-            .indexes
-            .get_mut()
-            .expect("index cache lock")
-            .retain(|(t, _), _| t != &key);
-        self.access
-            .stats
-            .get_mut()
-            .expect("stats cache lock")
-            .retain(|(t, _), _| t != &key);
+        cache_get_mut(&mut self.access.indexes).retain(|(t, _), _| t != &key);
+        cache_get_mut(&mut self.access.stats).retain(|(t, _), _| t != &key);
     }
 
     /// A shared hash index over `table.column`, built on first use and cached
@@ -158,21 +187,11 @@ impl Database {
     pub fn hash_index(&self, table: &str, column: &str) -> RelResult<Arc<HashIndex>> {
         let t = self.table(table)?;
         let key = (table.to_ascii_lowercase(), column.to_ascii_lowercase());
-        if let Some(idx) = self
-            .access
-            .indexes
-            .read()
-            .expect("index cache lock")
-            .get(&key)
-        {
+        if let Some(idx) = cache_read(&self.access.indexes).get(&key) {
             return Ok(Arc::clone(idx));
         }
         let built = Arc::new(HashIndex::build(t, column)?);
-        self.access
-            .indexes
-            .write()
-            .expect("index cache lock")
-            .insert(key, Arc::clone(&built));
+        cache_write(&self.access.indexes).insert(key, Arc::clone(&built));
         Ok(built)
     }
 
@@ -184,21 +203,11 @@ impl Database {
     pub fn column_stats(&self, table: &str, column: &str) -> RelResult<Arc<ColumnStats>> {
         let t = self.table(table)?;
         let key = (table.to_ascii_lowercase(), column.to_ascii_lowercase());
-        if let Some(s) = self
-            .access
-            .stats
-            .read()
-            .expect("stats cache lock")
-            .get(&key)
-        {
+        if let Some(s) = cache_read(&self.access.stats).get(&key) {
             return Ok(Arc::clone(s));
         }
         let built = Arc::new(profile_column(t, column, 0)?);
-        self.access
-            .stats
-            .write()
-            .expect("stats cache lock")
-            .insert(key, Arc::clone(&built));
+        cache_write(&self.access.stats).insert(key, Arc::clone(&built));
         Ok(built)
     }
 
@@ -507,6 +516,96 @@ mod tests {
             .unwrap();
         let dbref_again = db.column_stats("dbref", "accession").unwrap();
         assert!(Arc::ptr_eq(&dbref_stats, &dbref_again));
+    }
+
+    /// Poison a cache lock the way a real failure would: a thread panics
+    /// while it holds the write guard, mid-way through populating the map.
+    fn poison_mid_construction<K, V>(lock: &RwLock<HashMap<K, V>>, key: K, value: V)
+    where
+        K: Send + Sync + std::hash::Hash + Eq,
+        V: Send + Sync,
+    {
+        let joined = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut guard = lock.write().unwrap();
+                guard.insert(key, value);
+                panic!("injected: panic while the cache write guard is held");
+            })
+            .join()
+        });
+        assert!(joined.is_err());
+        assert!(lock.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_index_cache_is_discarded_and_rebuilt() {
+        let db = db();
+        let before = db.hash_index("bioentry", "accession").unwrap();
+        let half_built =
+            Arc::new(HashIndex::build(db.table("dbref").unwrap(), "accession").unwrap());
+        poison_mid_construction(
+            &db.access.indexes,
+            ("dbref".to_string(), "accession".to_string()),
+            half_built,
+        );
+        // Recovery discards the whole suspect map — including the entry the
+        // panicking builder left behind — and rebuilds on demand.
+        let rebuilt = db.hash_index("bioentry", "accession").unwrap();
+        assert!(!Arc::ptr_eq(&before, &rebuilt));
+        assert_eq!(rebuilt.lookup("P12345"), &[0]);
+        assert!(!db.access.indexes.is_poisoned());
+        // Subsequent lookups cache normally again.
+        let again = db.hash_index("bioentry", "accession").unwrap();
+        assert!(Arc::ptr_eq(&rebuilt, &again));
+    }
+
+    #[test]
+    fn poisoned_stats_cache_is_discarded_and_rebuilt() {
+        let db = db();
+        let before = db.column_stats("bioentry", "accession").unwrap();
+        let half_built =
+            Arc::new(profile_column(db.table("dbref").unwrap(), "accession", 0).unwrap());
+        poison_mid_construction(
+            &db.access.stats,
+            ("dbref".to_string(), "accession".to_string()),
+            half_built,
+        );
+        let rebuilt = db.column_stats("bioentry", "accession").unwrap();
+        assert!(!Arc::ptr_eq(&before, &rebuilt));
+        assert_eq!(rebuilt.row_count, 2);
+        assert!(!db.access.stats.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_caches_survive_clone_and_mutation() {
+        let mut db = db();
+        db.hash_index("bioentry", "accession").unwrap();
+        let half_built =
+            Arc::new(HashIndex::build(db.table("dbref").unwrap(), "accession").unwrap());
+        poison_mid_construction(
+            &db.access.indexes,
+            ("dbref".to_string(), "accession".to_string()),
+            half_built,
+        );
+        // Clone starts from an empty (recovered) cache, not a suspect one.
+        let cloned = db.clone();
+        assert!(!cloned.access.indexes.is_poisoned());
+        assert_eq!(
+            cloned
+                .hash_index("bioentry", "accession")
+                .unwrap()
+                .lookup("P67890"),
+            &[1]
+        );
+        // And `&mut` invalidation paths recover instead of panicking.
+        db.insert("bioentry", vec![Value::Int(3), Value::text("P99999")])
+            .unwrap();
+        assert_eq!(
+            db.hash_index("bioentry", "accession")
+                .unwrap()
+                .lookup("P99999"),
+            &[2]
+        );
     }
 
     #[test]

@@ -83,6 +83,20 @@ pub struct SortKey {
     pub ascending: bool,
 }
 
+/// 64-bit FNV-1a hash of a byte string. Used to fingerprint plans (and, in
+/// `aladin-core`, object-query specs) as compact cache keys; not
+/// cryptographic.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// A logical query plan over a [`crate::Database`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LogicalPlan {
@@ -366,6 +380,17 @@ impl LogicalPlan {
         }
     }
 
+    /// A stable 64-bit fingerprint of the plan's structure, the cache key of
+    /// normalized plans. Every node and expression derives a structural
+    /// `Debug`, so hashing the canonical `Debug` rendering makes two plans
+    /// fingerprint equal exactly when they are structurally equal — SQL texts
+    /// that parse to the same plan (case or whitespace differences) share a
+    /// fingerprint, while any differing literal, column or operator changes
+    /// it.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_bytes(format!("{self:?}").as_bytes())
+    }
+
     /// Names of base tables referenced by the plan (depth-first, with
     /// duplicates removed, preserving first occurrence).
     pub fn referenced_tables(&self) -> Vec<&str> {
@@ -466,6 +491,36 @@ mod tests {
         };
         assert_eq!(idx.explain(), "IndexScan bioentry.accession = 'P11111'\n");
         assert_eq!(idx.referenced_tables(), vec!["bioentry"]);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = LogicalPlan::scan("bioentry")
+            .filter(Expr::col("accession").like("P%"))
+            .limit(10);
+        let b = LogicalPlan::scan("bioentry")
+            .filter(Expr::col("accession").like("P%"))
+            .limit(10);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any structural difference — literal, limit, operator — changes it.
+        assert_ne!(
+            a.fingerprint(),
+            LogicalPlan::scan("bioentry")
+                .filter(Expr::col("accession").like("Q%"))
+                .limit(10)
+                .fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            LogicalPlan::scan("bioentry")
+                .filter(Expr::col("accession").like("P%"))
+                .limit(11)
+                .fingerprint()
+        );
+        // Stable across calls.
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        // And the raw byte hash distinguishes kind-prefixed keys.
+        assert_ne!(fingerprint_bytes(b"sql:x"), fingerprint_bytes(b"plan:x"));
     }
 
     #[test]
