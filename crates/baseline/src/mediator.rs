@@ -86,7 +86,7 @@ impl<'a> Mediator<'a> {
         covered as f64 / self.schema.attributes.len() as f64
     }
 
-    /// Answer a "SELECT <global attributes> FROM <concept>" query by unioning
+    /// Answer a "SELECT `<global attributes>` FROM `<concept>`" query by unioning
     /// the mapped source attributes. Unmapped attributes come back as NULL —
     /// the mediator cannot guess.
     pub fn query_concept(&self, attributes: &[&str]) -> RelResult<Table> {

@@ -12,20 +12,28 @@
 use crate::error::{AladinError, AladinResult};
 use crate::metadata::{LinkAdjacency, LinkKind, ObjectRef};
 use crate::pipeline::Aladin;
-use aladin_relstore::{exec, optimize, sql, ColumnDef, LogicalPlan, Table, TableSchema, Value};
+use aladin_relstore::{
+    analyze, exec, optimize, sql, ColumnDef, LogicalPlan, Table, TableSchema, Value,
+};
 
 /// Run a SQL statement against the imported schema of one source. `SELECT`s
-/// execute through the rule-based optimizer and the streaming executor;
-/// `EXPLAIN SELECT ...` returns the optimized plan as a one-column table of
-/// plan lines instead of running the query.
+/// are statically analyzed first (see [`aladin_relstore::analyze`]) and
+/// refused on error diagnostics, then execute through the rule-based
+/// optimizer and the streaming executor; `EXPLAIN SELECT ...` returns the
+/// optimized plan as a one-column table of plan lines, followed by the
+/// analysis section when the analyzer has something to say.
 pub(crate) fn run_sql(aladin: &Aladin, source: &str, query: &str) -> AladinResult<Table> {
     let db = aladin.database(source)?;
     match sql::parse_statement(query)? {
-        sql::Statement::Select(plan) => Ok(exec::execute_optimized(db, &plan)?),
+        sql::Statement::Select(plan) => Ok(exec::execute_checked(db, &plan)?),
         sql::Statement::Explain(plan) => {
+            let analysis = analyze::analyze(db, &plan);
             let optimized = optimize::optimize(db, &plan);
             let mut out = Table::new("explain", TableSchema::of(vec![ColumnDef::text("plan")]));
             for line in optimized.explain().lines() {
+                out.insert(vec![Value::text(line)])?;
+            }
+            for line in analysis.explain_section().lines() {
                 out.insert(vec![Value::text(line)])?;
             }
             Ok(out)
@@ -271,6 +279,49 @@ mod tests {
             plan.cell(0, "plan").unwrap().render(),
             "IndexScan protkb_entry.ac = 'P10001'"
         );
+    }
+
+    #[test]
+    fn sql_is_statically_checked_and_explain_reports_analysis() {
+        let aladin = warehouse();
+        let q = QueryEngine::new(&aladin);
+
+        // SELECTs run through the analyzer: an unknown column is refused
+        // with a suggestion instead of failing mid-execution.
+        let err = q
+            .sql("protkb", "SELECT acc FROM protkb_entry")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("error[E102]"), "{err}");
+        assert!(err.contains("did you mean 'ac'?"), "{err}");
+
+        // EXPLAIN appends the analysis section after the plan lines when
+        // the analyzer has diagnostics...
+        let out = q
+            .sql(
+                "protkb",
+                "EXPLAIN SELECT * FROM protkb_entry WHERE entry_id = 1 AND entry_id = 2",
+            )
+            .unwrap();
+        let lines: Vec<String> = out
+            .column_values("plan")
+            .unwrap()
+            .iter()
+            .map(|v| v.render())
+            .collect();
+        assert_eq!(lines[0], "Empty");
+        assert!(lines.iter().any(|l| l == "Analysis:"), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("warning[W201]")),
+            "{lines:?}"
+        );
+
+        // ...and stays plan-only for clean queries.
+        let out = q
+            .sql("protkb", "EXPLAIN SELECT ac FROM protkb_entry")
+            .unwrap();
+        let lines = out.column_values("plan").unwrap();
+        assert!(!lines.iter().any(|v| v.render() == "Analysis:"));
     }
 
     #[test]

@@ -999,10 +999,28 @@ impl<'w> ObjectQuery<'w> {
     /// run the plan through the rule-based optimizer against the query's
     /// source, and pretty-print the optimized plan. Point lookups show up as
     /// `IndexScan` nodes, pushed-down filters sit directly on their scans.
+    /// When the static analyzer ([`ObjectQuery::analyze`]) reports
+    /// diagnostics, they are appended as an `Analysis:` section.
     pub fn explain(&self) -> AladinResult<String> {
         let (source, plan) = self.compile()?;
         let db = self.warehouse.database(&source)?;
-        Ok(aladin_relstore::optimize::optimize(db, &plan).explain())
+        let mut out = aladin_relstore::optimize::optimize(db, &plan).explain();
+        let section = aladin_relstore::analyze::analyze(db, &plan).explain_section();
+        if !section.is_empty() {
+            out.push_str(&section);
+        }
+        Ok(out)
+    }
+
+    /// Statically analyze the compiled plan against the query's source:
+    /// schema and type validation, predicate satisfiability, and plan lints,
+    /// without running the query. Queries that do not compile to a relational
+    /// plan (search roots, link traversals) report the same errors as
+    /// [`ObjectQuery::plan`].
+    pub fn analyze(&self) -> AladinResult<aladin_relstore::analyze::Analysis> {
+        let (source, plan) = self.compile()?;
+        let db = self.warehouse.database(&source)?;
+        Ok(aladin_relstore::analyze::analyze(db, &plan))
     }
 
     /// Shared body of [`ObjectQuery::plan`] and [`ObjectQuery::explain`]:
@@ -1582,6 +1600,45 @@ mod tests {
 
         // Non-relational shapes are reported, like plan().
         assert!(w.search("kinase").explain().is_err());
+    }
+
+    #[test]
+    fn object_queries_are_statically_analyzed() {
+        let w = warehouse();
+
+        // Every relational query shape above analyzes clean: the analyzer
+        // must not second-guess valid plans.
+        assert!(w
+            .accession("protkb", "P10001")
+            .analyze()
+            .unwrap()
+            .is_clean());
+        assert!(w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::equals("ac", "P10002"))
+            .limit(1)
+            .analyze()
+            .unwrap()
+            .is_clean());
+
+        // A filter on an unknown attribute is an error diagnostic with a
+        // suggestion, and the same diagnostics surface in explain().
+        let bad = w
+            .scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("acc", "P"));
+        let analysis = bad.analyze().unwrap();
+        assert!(analysis.has_errors());
+        let rendered = analysis.render();
+        assert!(rendered.contains("error[E102]"), "{rendered}");
+        assert!(rendered.contains("did you mean 'ac'?"), "{rendered}");
+        let explained = bad.explain().unwrap();
+        assert!(explained.contains("Analysis:"), "{explained}");
+        assert!(explained.contains("error[E102]"), "{explained}");
+
+        // Non-relational shapes are reported, like plan().
+        assert!(w.search("kinase").analyze().is_err());
     }
 
     #[test]

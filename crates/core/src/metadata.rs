@@ -1,7 +1,7 @@
 //! The central metadata repository.
 //!
 //! "The process of discovering new structures and links produces much metadata
-//! that is stored in a central repository [which] contains not only known and
+//! that is stored in a central repository \[which\] contains not only known and
 //! discovered schemata, but also information about primary and secondary
 //! relations, statistical metadata, and sample data to improve discovery
 //! efficiency. Finally, a large part of storage space will be consumed by the

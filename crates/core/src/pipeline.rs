@@ -31,7 +31,7 @@
 //! # Fault tolerance
 //!
 //! Integration is transactional: every mutation a source would make is
-//! staged ([`StagedSource`]) and committed only once the source — and, under
+//! staged (`StagedSource`) and committed only once the source — and, under
 //! [`BatchErrorPolicy::FailFast`], the whole batch — is known to succeed, so
 //! a failing `add_database`/`add_databases`/`refresh_source` call leaves the
 //! warehouse and the metadata repository exactly as before. A pair job that

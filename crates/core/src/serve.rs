@@ -28,6 +28,12 @@
 //!   served across a version boundary. Hit/miss/eviction counters surface
 //!   through [`ServeMetrics`] ([`Server::metrics`]), mirroring
 //!   [`crate::metadata::PipelineMetrics`] for the integration side.
+//! * **Invalid queries are refused before execution.** On a result-cache
+//!   miss, [`Server::fetch`] and [`Server::sql`] run the static analyzer
+//!   ([`aladin_relstore::analyze`]) over the compiled plan and reject
+//!   queries with error diagnostics. Verdicts are cached per fingerprint in
+//!   a side table, so a hammered invalid query costs one analysis per
+//!   generation and never occupies result-cache space.
 //!
 //! [`Server`] is `Send + Sync` (compile-time asserted): share one instance
 //! across N reader threads while a writer integrates.
@@ -49,12 +55,12 @@
 //! ```
 
 use crate::access::{ObjectHit, ObjectRecord, ObjectView, QuerySpec, Warehouse};
-use crate::error::AladinResult;
+use crate::error::{AladinError, AladinResult};
 use crate::metadata::ObjectRef;
 use crate::pipeline::{Aladin, IntegrationReport};
 use aladin_relstore::plan::fingerprint_bytes;
 use aladin_relstore::sql::Statement;
-use aladin_relstore::{Database, LogicalPlan, Table};
+use aladin_relstore::{Database, LogicalPlan, RelError, Table};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -316,6 +322,58 @@ impl QueryCache {
     }
 }
 
+/// The message stored in the [`AnalysisCache`] for a refused query: the
+/// inner text of [`RelError::Analysis`], re-wrapped on every refusal so the
+/// cached form stays a plain string.
+fn rejection_message(e: RelError) -> String {
+    match e {
+        RelError::Analysis(m) => m,
+        other => other.to_string(),
+    }
+}
+
+/// Static-analysis verdicts ([`aladin_relstore::analyze`]) keyed like the
+/// result cache: `(generation, query fingerprint)`. `None` means the query
+/// analyzed clean on that generation; `Some(message)` is the rendered
+/// analysis error a repeated invalid query is refused with — without
+/// re-running the analyzer, and before it can ever touch the result cache.
+///
+/// Kept separate from the byte-budgeted LRU on purpose: verdicts are tiny
+/// (at most one rendered diagnostic), must not evict real results, and their
+/// bookkeeping must not perturb the serving-cache hit/miss/eviction metrics.
+/// Entries of older generations are purged at publish time, like the LRU.
+struct AnalysisCache {
+    verdicts: Mutex<HashMap<CacheKey, Option<String>>>,
+}
+
+impl AnalysisCache {
+    fn new() -> AnalysisCache {
+        AnalysisCache {
+            verdicts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Verdicts are plain strings and every insert completes under the
+    /// guard, so a poisoned mutex is recoverable by taking the state as-is.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Option<String>>> {
+        self.verdicts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// `None` = never analyzed on this generation; `Some(None)` = analyzed
+    /// clean; `Some(Some(m))` = refused with message `m`.
+    fn lookup(&self, key: CacheKey) -> Option<Option<String>> {
+        self.lock().get(&key).cloned()
+    }
+
+    fn store(&self, key: CacheKey, verdict: Option<String>) {
+        self.lock().insert(key, verdict);
+    }
+
+    fn retain_generation(&self, generation: u64) {
+        self.lock().retain(|(g, _), _| *g == generation);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
@@ -363,6 +421,10 @@ pub struct Server {
     /// readers clone the `Arc` under a momentary read lock.
     current: RwLock<Snapshot>,
     cache: QueryCache,
+    /// Static-analysis verdicts, consulted on the result-miss path so an
+    /// invalid query is refused before execution and before the result
+    /// cache.
+    analysis: AnalysisCache,
     config: ServeConfig,
     snapshots_published: AtomicU64,
     queries_served: AtomicU64,
@@ -386,6 +448,7 @@ impl Server {
             master: Mutex::new(aladin),
             current: RwLock::new(snapshot),
             cache: QueryCache::new(&config),
+            analysis: AnalysisCache::new(),
             config,
             snapshots_published: AtomicU64::new(1),
             queries_served: AtomicU64::new(0),
@@ -442,6 +505,7 @@ impl Server {
         let generation = snapshot.generation;
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
         self.cache.retain_generation(generation);
+        self.analysis.retain_generation(generation);
         self.snapshots_published.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -491,6 +555,14 @@ impl Server {
     /// Execute an object query against the current snapshot, serving a
     /// cached result when the same normalized spec already ran on this
     /// generation.
+    ///
+    /// On a result-cache miss, the spec is statically analyzed first
+    /// ([`crate::access::ObjectQuery::analyze`]) and refused on error
+    /// diagnostics — the verdict is cached per spec fingerprint, so a
+    /// repeated invalid query is rejected without re-analysis and never
+    /// occupies result-cache space. Specs outside the relational subset
+    /// (search roots, link traversals) do not compile to a plan; they skip
+    /// the gate and execute directly.
     pub fn fetch(&self, spec: &QuerySpec) -> AladinResult<Arc<Vec<ObjectRecord>>> {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
@@ -498,7 +570,24 @@ impl Server {
         if let Some(CachedValue::Records(cached)) = self.cache.lookup(key) {
             return Ok(cached);
         }
-        let records = Arc::new(snapshot.warehouse.query(spec.clone()).fetch()?);
+        let query = snapshot.warehouse.query(spec.clone());
+        let verdict = match self.analysis.lookup(key) {
+            Some(v) => v,
+            None => {
+                let v = match query.analyze() {
+                    Ok(analysis) => analysis.to_error().map(rejection_message),
+                    // Not relational (search root, link traversal): nothing
+                    // to analyze statically.
+                    Err(_) => None,
+                };
+                self.analysis.store(key, v.clone());
+                v
+            }
+        };
+        if let Some(message) = verdict {
+            return Err(AladinError::Storage(RelError::Analysis(message)));
+        }
+        let records = Arc::new(query.fetch()?);
         self.cache
             .store(key, CachedValue::Records(Arc::clone(&records)));
         Ok(records)
@@ -550,6 +639,12 @@ impl Server {
     /// share one cache entry — and the optimized plan is cached too, so
     /// it survives eviction of the (larger) result entry. `EXPLAIN` is
     /// served uncached.
+    ///
+    /// On a result-cache miss, the plan is statically analyzed first
+    /// ([`aladin_relstore::analyze`]) and refused on error diagnostics; the
+    /// verdict is cached per normalized fingerprint, so a repeated invalid
+    /// query is rejected before the optimizer, the executor, and the result
+    /// cache.
     pub fn sql(&self, source: &str, query: &str) -> AladinResult<Arc<Table>> {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
@@ -569,6 +664,19 @@ impl Server {
         );
         if let Some(CachedValue::Table(cached)) = self.cache.lookup(result_key) {
             return Ok(cached);
+        }
+        let verdict = match self.analysis.lookup(result_key) {
+            Some(v) => v,
+            None => {
+                let v = aladin_relstore::analyze::analyze(db, &plan)
+                    .to_error()
+                    .map(rejection_message);
+                self.analysis.store(result_key, v.clone());
+                v
+            }
+        };
+        if let Some(message) = verdict {
+            return Err(AladinError::Storage(RelError::Analysis(message)));
         }
         let plan_key = (
             snapshot.generation,
@@ -766,6 +874,52 @@ mod tests {
             .unwrap();
         assert!(e.column_values("plan").is_ok());
         assert_eq!(server.metrics().cache_hits, 1);
+    }
+
+    #[test]
+    fn invalid_sql_is_refused_before_the_result_cache() {
+        let server = server();
+        let bad = "SELECT acc FROM protkb_entry";
+        let err = server.sql("protkb", bad).unwrap_err().to_string();
+        assert!(err.contains("error[E102]"), "{err}");
+        assert!(err.contains("did you mean 'ac'?"), "{err}");
+        // The refusal is cached: the repeat is rejected with the same
+        // message, and neither attempt occupied result-cache space.
+        let again = server.sql("protkb", bad).unwrap_err().to_string();
+        assert_eq!(err, again);
+        assert_eq!(server.metrics().cache_entries, 0);
+
+        // A valid query on the same server still executes and caches.
+        let ok = server.sql("protkb", "SELECT ac FROM protkb_entry").unwrap();
+        assert_eq!(ok.row_count(), 3);
+
+        // Verdicts are per generation: publishing re-analyzes (the column is
+        // still unknown, so the query is refused again, on fresh state).
+        server.add_database(structdb()).unwrap();
+        let err = server.sql("protkb", bad).unwrap_err().to_string();
+        assert!(err.contains("error[E102]"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fetch_specs_are_refused_and_search_roots_skip_the_gate() {
+        let server = server();
+        let bad = QuerySpec::scan()
+            .from_source("protkb")
+            .filter(AttrFilter::contains("descr", "kinase"));
+        let err = server.fetch(&bad).unwrap_err().to_string();
+        assert!(err.contains("error[E102]"), "{err}");
+        assert!(err.contains("'descr'"), "{err}");
+        // Cached verdict: the repeat is refused identically, and no result
+        // was ever cached for the invalid spec.
+        let again = server.fetch(&bad).unwrap_err().to_string();
+        assert_eq!(err, again);
+
+        // Search roots are not relational plans — they bypass analysis and
+        // keep working.
+        let hits = server
+            .fetch(&QuerySpec::search("kinase").limit(10))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
     }
 
     #[test]

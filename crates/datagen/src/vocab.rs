@@ -131,7 +131,7 @@ pub fn pick<'a, T: ?Sized, R: Rng>(rng: &mut R, items: &'a [&'a T]) -> &'a T {
     items[rng.gen_range(0..items.len())]
 }
 
-/// Compose a protein family name: "<modifier> <noun>".
+/// Compose a protein family name: "`<modifier>` `<noun>`".
 pub fn family_name<R: Rng>(rng: &mut R) -> String {
     format!(
         "{} {}",

@@ -21,6 +21,9 @@ pub enum RelError {
     Exec(String),
     /// A duplicate object (table, index, constraint) was created.
     AlreadyExists(String),
+    /// The static analyzer ([`crate::analyze`]) rejected a plan before
+    /// execution; the payload is the rendered error diagnostic(s).
+    Analysis(String),
 }
 
 impl fmt::Display for RelError {
@@ -34,6 +37,7 @@ impl fmt::Display for RelError {
             RelError::Parse(m) => write!(f, "parse error: {m}"),
             RelError::Exec(m) => write!(f, "execution error: {m}"),
             RelError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            RelError::Analysis(m) => write!(f, "analysis error: {m}"),
         }
     }
 }

@@ -46,6 +46,18 @@ pub fn execute_optimized(db: &Database, plan: &LogicalPlan) -> RelResult<Table> 
     execute(db, &optimize(db, plan))
 }
 
+/// Strict execution: run the static analyzer ([`crate::analyze`]) first and
+/// refuse plans with error-severity diagnostics (returning
+/// [`RelError::Analysis`]), then optimize and execute. SQL entry points use
+/// this so ill-typed queries fail with one precise diagnostic instead of a
+/// row-level evaluation error (or, worse, an empty result).
+pub fn execute_checked(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
+    if let Some(err) = crate::analyze::analyze(db, plan).to_error() {
+        return Err(err);
+    }
+    execute_optimized(db, plan)
+}
+
 /// The name the materialized result table carries, mirroring the naive
 /// evaluator: base scans keep the table name, other operators name the result
 /// after themselves, and pass-through operators keep their input's name.
@@ -62,6 +74,7 @@ fn result_name(db: &Database, plan: &LogicalPlan) -> String {
         LogicalPlan::Sort { input, .. }
         | LogicalPlan::Limit { input, .. }
         | LogicalPlan::Offset { input, .. } => result_name(db, input),
+        LogicalPlan::Empty { .. } => "empty".to_string(),
     }
 }
 
@@ -80,6 +93,7 @@ fn row_count_hint(db: &Database, plan: &LogicalPlan) -> Option<usize> {
             row_count_hint(db, input).map(|hint| hint.saturating_sub(*offset))
         }
         LogicalPlan::Sort { input, .. } => row_count_hint(db, input),
+        LogicalPlan::Empty { .. } => Some(0),
         _ => None,
     }
 }
@@ -220,6 +234,7 @@ pub fn execute_naive(db: &Database, plan: &LogicalPlan) -> RelResult<Table> {
             }
             Ok(out)
         }
+        LogicalPlan::Empty { schema } => Ok(Table::new("empty", schema.clone())),
     }
 }
 

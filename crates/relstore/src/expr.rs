@@ -147,30 +147,14 @@ impl Expr {
     pub fn eval(&self, schema: &TableSchema, row: &Row) -> RelResult<Value> {
         match self {
             Expr::Column(name) => {
-                let idx = schema.index_of(name).or_else(|| {
-                    // Accept unqualified references to qualified columns
-                    // (`accession` matching `bioentry.accession`) as long as
-                    // the suffix is unambiguous.
-                    let matches: Vec<usize> = schema
-                        .columns()
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, c)| {
-                            c.name
-                                .rsplit('.')
-                                .next()
-                                .is_some_and(|s| s.eq_ignore_ascii_case(name))
-                        })
-                        .map(|(i, _)| i)
-                        .collect();
-                    if matches.len() == 1 {
-                        Some(matches[0])
-                    } else {
-                        None
-                    }
-                });
-                let idx = idx.ok_or_else(|| RelError::UnknownColumn(name.clone()))?;
-                Ok(row[idx].clone())
+                // Exact match, or an unqualified reference to a qualified
+                // column (`accession` matching `bioentry.accession`) as long
+                // as the suffix is unambiguous. Shared with the static
+                // analyzer via [`TableSchema::resolve`].
+                match schema.resolve(name) {
+                    crate::schema::ColumnResolution::Index(idx) => Ok(row[idx].clone()),
+                    _ => Err(RelError::UnknownColumn(name.clone())),
+                }
             }
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Binary { op, left, right } => {

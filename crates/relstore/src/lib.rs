@@ -31,7 +31,12 @@
 //!   implementation for property tests and benches.
 //! * [`optimize`] — a rule-based optimizer (predicate pushdown, projection
 //!   pruning, limit pushdown, index-scan rewriting, join build-side
-//!   selection) producing observationally equivalent plans.
+//!   selection, proven-empty pruning) producing observationally equivalent
+//!   plans.
+//! * [`analyze`] — a static analysis pass between plan construction and
+//!   optimization: typed plan validation against the catalog,
+//!   satisfiability reasoning over conjunctive predicates, and plan lints,
+//!   all reported as structured [`analyze::Diagnostic`]s.
 //! * [`sql`] — a deliberately small SQL dialect (`[EXPLAIN] SELECT ... FROM
 //!   ... JOIN ... WHERE ... GROUP BY ... ORDER BY ... LIMIT`) so that the
 //!   "structured queries" access mode of ALADIN can be exercised end to end.
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod catalog;
 pub mod constraint;
 pub mod error;

@@ -35,23 +35,34 @@
 //!    keys on *rendered* values, the rewrite only fires when rendered
 //!    equality is faithful to `=`: text literals (on any column), or integer
 //!    literals on INTEGER columns. Among several eligible conjuncts the one
-//!    with the fewest estimated matches (per cached [`ColumnStats`]) wins.
+//!    with the fewest estimated matches (per cached [`crate::stats::ColumnStats`]) wins.
 //! 6. **Join build-side selection** — the executor builds the hash table on
 //!    the *right* input of a join; for inner joins whose left input is
-//!    estimated (via table row counts and [`ColumnStats`] selectivities) to
+//!    estimated (via table row counts and [`crate::stats::ColumnStats`] selectivities) to
 //!    be clearly smaller, the inputs are swapped and a projection restores
 //!    the original column order.
+//! 7. **Proven-empty pruning** — the static analyzer's satisfiability engine
+//!    ([`crate::analyze`]) runs over each filter's conjunction: a proven
+//!    contradiction (`a = 1 AND a = 2`, `x > 10 AND x < 5`) collapses the
+//!    subtree to [`LogicalPlan::Empty`] and constant-true conjuncts are
+//!    dropped. Emptiness then propagates upward (an inner join with an empty
+//!    input is empty, grouped aggregation over nothing yields no rows, ...),
+//!    skipping scans and join builds entirely. Pruning only fires when it
+//!    provably cannot mask a runtime error: the predicate must be statically
+//!    well typed and every column the executors resolve up front must
+//!    resolve.
 //!
 //! The equivalence contract — `execute(optimize(plan))` returns the same rows
 //! as `execute(plan)` — is property-tested in `tests/props.rs` against
 //! randomly generated plans and data (up to row order for plans containing a
 //! swapped join; everything else preserves order exactly).
 
+use crate::analyze::{conjunction_satisfiability, expr_is_well_typed, Satisfiability};
 use crate::catalog::Database;
 use crate::error::RelResult;
 use crate::exec::aggregate_schema;
 use crate::expr::{BinaryOp, Expr};
-use crate::plan::{JoinType, LogicalPlan};
+use crate::plan::{AggFunc, JoinType, LogicalPlan};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::table::Table;
 use crate::types::DataType;
@@ -83,7 +94,9 @@ pub fn optimize(db: &Database, plan: &LogicalPlan) -> LogicalPlan {
 /// One bottom-up rewrite pass.
 fn rewrite(db: &Database, plan: &LogicalPlan) -> LogicalPlan {
     let node = match plan {
-        LogicalPlan::Scan { .. } | LogicalPlan::IndexScan { .. } => plan.clone(),
+        LogicalPlan::Scan { .. } | LogicalPlan::IndexScan { .. } | LogicalPlan::Empty { .. } => {
+            plan.clone()
+        }
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
             input: Box::new(rewrite(db, input)),
             predicate: predicate.clone(),
@@ -131,12 +144,102 @@ fn rewrite(db: &Database, plan: &LogicalPlan) -> LogicalPlan {
             offset: *offset,
         },
     };
+    // Rule 7 (propagation): operators over a proven-empty input are
+    // themselves empty where that is provably equivalent.
+    if let Some(empty) = propagate_empty(db, &node) {
+        return empty;
+    }
     match node {
         LogicalPlan::Filter { .. } => rewrite_filter(db, node),
         LogicalPlan::Limit { .. } | LogicalPlan::Offset { .. } => rewrite_pagination(node),
         LogicalPlan::Project { .. } => rewrite_project(db, node),
         LogicalPlan::Join { .. } => rewrite_join(db, node),
         other => other,
+    }
+}
+
+/// Rule 7 (propagation): rewrite an operator whose input was proven empty.
+/// Every case is guarded so pruning never changes observable behaviour: the
+/// executors resolve sort keys, join keys and aggregate columns *before*
+/// reading any rows, so those must resolve for the pruned plan to be
+/// equivalent; a left-outer join with an empty right input keeps its left
+/// rows, and a global (ungrouped) aggregate over nothing yields one row —
+/// neither is pruned.
+fn propagate_empty(db: &Database, node: &LogicalPlan) -> Option<LogicalPlan> {
+    fn empty_schema(plan: &LogicalPlan) -> Option<&TableSchema> {
+        match plan {
+            LogicalPlan::Empty { schema } => Some(schema),
+            _ => None,
+        }
+    }
+    match node {
+        // Pass-through operators over an empty input are that input. Filter
+        // predicates are evaluated per row, so an empty input can never
+        // surface a predicate error anyway.
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Offset { input, .. }
+            if empty_schema(input).is_some() =>
+        {
+            Some((**input).clone())
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let schema = empty_schema(input)?;
+            if keys.iter().all(|k| schema.index_of(&k.column).is_some()) {
+                Some((**input).clone())
+            } else {
+                None
+            }
+        }
+        LogicalPlan::Project { input, .. } if empty_schema(input).is_some() => {
+            // schema_of fails on duplicate output names, which the executors
+            // also reject — so a failure simply leaves the node unpruned.
+            let schema = schema_of(db, node).ok()?;
+            Some(LogicalPlan::Empty { schema })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+            join_type,
+            ..
+        } => {
+            let prunable = empty_schema(left).is_some()
+                || (*join_type == JoinType::Inner && empty_schema(right).is_some());
+            if !prunable {
+                return None;
+            }
+            let ls = schema_of(db, left).ok()?;
+            let rs = schema_of(db, right).ok()?;
+            if ls.index_of(left_col).is_none() || rs.index_of(right_col).is_none() {
+                return None;
+            }
+            let schema = schema_of(db, node).ok()?;
+            Some(LogicalPlan::Empty { schema })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let schema = empty_schema(input)?;
+            if group_by.is_empty() {
+                return None;
+            }
+            let resolvable = group_by.iter().all(|c| schema.index_of(c).is_some())
+                && aggregates.iter().all(|a| match (&a.column, a.func) {
+                    (Some(c), _) => schema.index_of(c).is_some(),
+                    (None, AggFunc::Count) => true,
+                    (None, _) => false,
+                });
+            if !resolvable {
+                return None;
+            }
+            let schema = schema_of(db, node).ok()?;
+            Some(LogicalPlan::Empty { schema })
+        }
+        _ => None,
     }
 }
 
@@ -148,6 +251,41 @@ fn rewrite_filter(db: &Database, node: LogicalPlan) -> LogicalPlan {
     let LogicalPlan::Filter { input, predicate } = node else {
         return node;
     };
+    // Rule 7: satisfiability over the conjunction. A proven contradiction
+    // collapses the subtree to an empty relation — but only when the
+    // predicate is statically well typed, so pruning never masks a runtime
+    // error — and proven constant-true conjuncts are dropped.
+    if let Ok(schema) = schema_of(db, &input) {
+        let mut conjuncts = Vec::new();
+        split_conjuncts(&predicate, &mut conjuncts);
+        match conjunction_satisfiability(&conjuncts) {
+            Satisfiability::Contradiction(_) => {
+                if expr_is_well_typed(&predicate, &schema) {
+                    return LogicalPlan::Empty { schema };
+                }
+            }
+            Satisfiability::Satisfiable { true_conjuncts } => {
+                if !true_conjuncts.is_empty() {
+                    let remaining: Vec<Expr> = conjuncts
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| !true_conjuncts.contains(i))
+                        .map(|(_, c)| c)
+                        .collect();
+                    return match conjoin(remaining) {
+                        Some(p) => rewrite_filter(
+                            db,
+                            LogicalPlan::Filter {
+                                input,
+                                predicate: p,
+                            },
+                        ),
+                        None => *input,
+                    };
+                }
+            }
+        }
+    }
     match *input {
         // Rule 1: merge stacked filters into one conjunction.
         LogicalPlan::Filter {
@@ -642,6 +780,7 @@ pub fn schema_of(db: &Database, plan: &LogicalPlan) -> RelResult<TableSchema> {
             let in_schema = schema_of(db, input)?;
             aggregate_schema(&in_schema, group_by, aggregates)
         }
+        LogicalPlan::Empty { schema } => Ok(schema.clone()),
     }
 }
 
@@ -681,6 +820,7 @@ pub fn estimate_rows(db: &Database, plan: &LogicalPlan) -> f64 {
         LogicalPlan::Offset { input, offset } => {
             (estimate_rows(db, input) - *offset as f64).max(0.0)
         }
+        LogicalPlan::Empty { .. } => 0.0,
     }
 }
 
@@ -977,6 +1117,127 @@ mod tests {
         assert!(estimate_rows(&db, &filtered) <= 1.0);
         let limited = LogicalPlan::scan("bioentry").limit(5);
         assert_eq!(estimate_rows(&db, &limited), 5.0);
+    }
+
+    #[test]
+    fn contradictory_filter_collapses_to_empty() {
+        let db = db();
+        let plan = LogicalPlan::scan("bioentry").filter(
+            Expr::col("accession")
+                .eq(Expr::lit(Value::text("P00001")))
+                .and(Expr::col("accession").eq(Expr::lit(Value::text("P00002")))),
+        );
+        let optimized = optimize(&db, &plan);
+        assert_eq!(optimized.explain(), "Empty\n");
+        assert_same_rows(&db, &plan);
+        // The pruned plan keeps the schema of the subtree it replaced.
+        let result = execute(&db, &optimized).unwrap();
+        assert_eq!(
+            result.schema().column_names(),
+            vec!["bioentry_id", "accession", "name"]
+        );
+        assert_eq!(result.row_count(), 0);
+    }
+
+    #[test]
+    fn emptiness_propagates_through_joins_projections_and_grouped_aggregates() {
+        let db = db();
+        let contradiction = Expr::col("bioentry_id")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("bioentry_id").eq(Expr::lit(2i64)));
+        let plan = LogicalPlan::scan("bioentry")
+            .filter(contradiction.clone())
+            .join(
+                LogicalPlan::scan("dbref"),
+                "bioentry_id",
+                "bioentry_id",
+                "bioentry",
+                "dbref",
+            )
+            .project_columns(&["accession", "target"])
+            .aggregate(
+                vec!["target".to_string()],
+                vec![crate::plan::Aggregate::count_star("n")],
+            );
+        let optimized = optimize(&db, &plan);
+        assert_eq!(optimized.explain(), "Empty\n");
+        assert_same_rows(&db, &plan);
+    }
+
+    #[test]
+    fn empty_pruning_respects_outer_joins_and_global_aggregates() {
+        let db = db();
+        let contradiction = Expr::col("bioentry_id")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("bioentry_id").eq(Expr::lit(2i64)));
+        // A left-outer join with a proven-empty RIGHT input keeps its left
+        // rows and must not be pruned.
+        let outer = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("bioentry")),
+            right: Box::new(LogicalPlan::scan("dbref").filter(contradiction.clone())),
+            left_col: "bioentry_id".into(),
+            right_col: "bioentry_id".into(),
+            join_type: JoinType::LeftOuter,
+            left_qualifier: "bioentry".into(),
+            right_qualifier: "dbref".into(),
+        };
+        let optimized = optimize(&db, &outer);
+        assert!(
+            !matches!(optimized, LogicalPlan::Empty { .. }),
+            "{}",
+            optimized.explain()
+        );
+        assert_same_rows(&db, &outer);
+        // A global aggregate over a proven-empty input still yields one row.
+        let global = LogicalPlan::scan("bioentry")
+            .filter(contradiction)
+            .aggregate(vec![], vec![crate::plan::Aggregate::count_star("n")]);
+        let optimized = optimize(&db, &global);
+        assert!(
+            !matches!(optimized, LogicalPlan::Empty { .. }),
+            "{}",
+            optimized.explain()
+        );
+        let result = execute(&db, &optimized).unwrap();
+        assert_eq!(result.row_count(), 1);
+        assert_eq!(result.cell(0, "n").unwrap(), &Value::Int(0));
+        assert_same_rows(&db, &global);
+    }
+
+    #[test]
+    fn tautological_conjuncts_are_dropped() {
+        let db = db();
+        let tautology = Expr::lit(1i64).eq(Expr::lit(1i64));
+        let plan = LogicalPlan::scan("bioentry").filter(
+            tautology
+                .clone()
+                .and(Expr::col("accession").eq(Expr::lit(Value::text("P00007")))),
+        );
+        let optimized = optimize(&db, &plan);
+        assert_eq!(
+            optimized.explain(),
+            "IndexScan bioentry.accession = 'P00007'\n"
+        );
+        assert_same_rows(&db, &plan);
+        // An all-true predicate removes the filter entirely.
+        let plan = LogicalPlan::scan("bioentry").filter(tautology);
+        assert_eq!(optimize(&db, &plan).explain(), "Scan bioentry\n");
+        assert_same_rows(&db, &plan);
+    }
+
+    #[test]
+    fn contradictions_over_ill_typed_predicates_are_not_pruned() {
+        let db = db();
+        // The contradiction mentions a column that does not exist: pruning
+        // would mask the runtime UnknownColumn error.
+        let plan = LogicalPlan::scan("bioentry").filter(
+            Expr::col("missing")
+                .eq(Expr::lit(1i64))
+                .and(Expr::col("missing").eq(Expr::lit(2i64))),
+        );
+        let optimized = optimize(&db, &plan);
+        assert!(execute(&db, &optimized).is_err());
+        assert!(execute_naive(&db, &plan).is_err());
     }
 
     #[test]

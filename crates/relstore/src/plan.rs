@@ -178,6 +178,14 @@ pub enum LogicalPlan {
         /// Number of rows to skip.
         offset: usize,
     },
+    /// A relation proven empty at optimization time (a contradictory filter
+    /// predicate, or an operator whose input was already proven empty).
+    /// Carries the schema of the subtree it replaced so downstream operators
+    /// and result tables keep their column layout.
+    Empty {
+        /// Schema of the pruned subtree.
+        schema: crate::schema::TableSchema,
+    },
 }
 
 impl LogicalPlan {
@@ -267,6 +275,11 @@ impl LogicalPlan {
             input: Box::new(self),
             offset,
         }
+    }
+
+    /// A proven-empty relation with the given schema.
+    pub fn empty(schema: crate::schema::TableSchema) -> LogicalPlan {
+        LogicalPlan::Empty { schema }
     }
 
     /// Render the plan as an indented `EXPLAIN`-style tree, one operator per
@@ -377,6 +390,9 @@ impl LogicalPlan {
                 let _ = writeln!(out, "Offset {offset}");
                 input.explain_into(out, depth + 1);
             }
+            LogicalPlan::Empty { .. } => {
+                let _ = writeln!(out, "Empty");
+            }
         }
     }
 
@@ -414,6 +430,7 @@ impl LogicalPlan {
                 left.collect_tables(out);
                 right.collect_tables(out);
             }
+            LogicalPlan::Empty { .. } => {}
         }
     }
 }

@@ -52,6 +52,19 @@ impl ColumnDef {
     }
 }
 
+/// Outcome of resolving a (possibly qualified) column reference against a
+/// schema, see [`TableSchema::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnResolution {
+    /// The reference names exactly one column.
+    Index(usize),
+    /// The reference is an unqualified suffix shared by several qualified
+    /// columns; the payload lists the candidates.
+    Ambiguous(Vec<String>),
+    /// No column matches the reference.
+    Unknown,
+}
+
 /// The schema of a table: an ordered list of columns.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TableSchema {
@@ -117,6 +130,40 @@ impl TableSchema {
     pub fn require(&self, name: &str) -> RelResult<usize> {
         self.index_of(name)
             .ok_or_else(|| RelError::UnknownColumn(name.to_string()))
+    }
+
+    /// Resolve a column reference the way expression evaluation does: a
+    /// case-insensitive exact match first, then an unqualified reference
+    /// matching the suffix of a qualified column (`accession` matching
+    /// `bioentry.accession`) as long as exactly one column has that suffix.
+    /// The static analyzer ([`crate::analyze`]) shares this resolution so its
+    /// verdicts mirror runtime behaviour exactly.
+    pub fn resolve(&self, name: &str) -> ColumnResolution {
+        if let Some(idx) = self.index_of(name) {
+            return ColumnResolution::Index(idx);
+        }
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name
+                    .rsplit('.')
+                    .next()
+                    .is_some_and(|s| s.eq_ignore_ascii_case(name))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [one] => ColumnResolution::Index(*one),
+            [] => ColumnResolution::Unknown,
+            several => ColumnResolution::Ambiguous(
+                several
+                    .iter()
+                    .map(|&i| self.columns[i].name.clone())
+                    .collect(),
+            ),
+        }
     }
 
     /// Append a column, rejecting duplicates. Returns the new column's index.

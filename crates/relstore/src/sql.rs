@@ -20,7 +20,16 @@
 //! COLUMBA-style iterative query refinement interface needs, nothing more.
 //! A statement may be prefixed with `EXPLAIN` (see [`parse_statement`]) to
 //! inspect the optimized plan instead of executing the query.
+//!
+//! Parse errors are reported through the same [`Diagnostic`] type the static
+//! analyzer ([`crate::analyze`]) uses: every token carries its byte-offset
+//! [`Span`] into the source text, and an error renders as a stable
+//! `error[P0xx]: message` line followed by a caret block pointing at the
+//! offending bytes. Codes: `P001` unexpected character, `P002` unterminated
+//! string literal, `P003` unexpected token, `P004` invalid number, `P005`
+//! grammar constraint (GROUP BY membership, `*` with aggregates, `SUM(*)`).
 
+use crate::analyze::{Diagnostic, Severity, Span};
 use crate::error::{RelError, RelResult};
 use crate::expr::{BinaryOp, Expr};
 use crate::plan::{AggFunc, Aggregate, JoinType, LogicalPlan, SortKey};
@@ -46,20 +55,37 @@ pub fn parse(sql: &str) -> RelResult<LogicalPlan> {
 /// `SELECT ...`.
 pub fn parse_statement(sql: &str) -> RelResult<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        source: sql,
+        tokens,
+        pos: 0,
+    };
     let explain = p.accept_keyword("EXPLAIN");
     let plan = p.parse_select()?;
     if p.pos != p.tokens.len() {
-        return Err(RelError::Parse(format!(
-            "unexpected trailing input at token '{}'",
-            p.peek_text()
-        )));
+        return Err(p.error_here(
+            "P003",
+            format!("unexpected trailing input at token '{}'", p.peek_text()),
+        ));
     }
     Ok(if explain {
         Statement::Explain(plan)
     } else {
         Statement::Select(plan)
     })
+}
+
+/// Build a [`RelError::Parse`] from a parse diagnostic: the stable one-line
+/// rendering plus a caret block pointing into `source`.
+fn parse_error(source: &str, code: &'static str, message: String, span: Span) -> RelError {
+    let diagnostic = Diagnostic {
+        severity: Severity::Error,
+        code,
+        message,
+        path: String::new(),
+        span: Some(span),
+    };
+    RelError::Parse(diagnostic.render_with_source(source))
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -74,12 +100,16 @@ enum Token {
     Ge,
 }
 
-fn tokenize(input: &str) -> RelResult<Vec<Token>> {
-    let mut out = Vec::new();
-    let chars: Vec<char> = input.chars().collect();
+/// Tokenize `input`, attaching to every token the byte-offset [`Span`] it
+/// was read from, so parse errors can point back into the source text.
+fn tokenize(input: &str) -> RelResult<Vec<(Token, Span)>> {
+    let mut out: Vec<(Token, Span)> = Vec::new();
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    // Byte offset of the i-th character (or end of input past the last one).
+    let byte_at = |i: usize| chars.get(i).map(|(b, _)| *b).unwrap_or(input.len());
     let mut i = 0;
     while i < chars.len() {
-        let c = chars[i];
+        let (start, c) = chars[i];
         if c.is_whitespace() {
             i += 1;
             continue;
@@ -89,9 +119,9 @@ fn tokenize(input: &str) -> RelResult<Vec<Token>> {
             i += 1;
             let mut closed = false;
             while i < chars.len() {
-                if chars[i] == '\'' {
+                if chars[i].1 == '\'' {
                     // doubled quote = escaped quote
-                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                    if i + 1 < chars.len() && chars[i + 1].1 == '\'' {
                         s.push('\'');
                         i += 2;
                         continue;
@@ -100,65 +130,75 @@ fn tokenize(input: &str) -> RelResult<Vec<Token>> {
                     i += 1;
                     break;
                 }
-                s.push(chars[i]);
+                s.push(chars[i].1);
                 i += 1;
             }
             if !closed {
-                return Err(RelError::Parse("unterminated string literal".into()));
+                return Err(parse_error(
+                    input,
+                    "P002",
+                    "unterminated string literal".into(),
+                    Span::new(start, input.len()),
+                ));
             }
-            out.push(Token::Str(s));
+            out.push((Token::Str(s), Span::new(start, byte_at(i))));
             continue;
         }
         if c.is_ascii_digit()
             || (c == '-'
                 && i + 1 < chars.len()
-                && chars[i + 1].is_ascii_digit()
+                && chars[i + 1].1.is_ascii_digit()
                 && starts_value(&out))
         {
             let mut s = String::new();
             s.push(c);
             i += 1;
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
-                s.push(chars[i]);
+            while i < chars.len() && (chars[i].1.is_ascii_digit() || chars[i].1 == '.') {
+                s.push(chars[i].1);
                 i += 1;
             }
-            out.push(Token::Number(s));
+            out.push((Token::Number(s), Span::new(start, byte_at(i))));
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let mut s = String::new();
             while i < chars.len()
-                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                && (chars[i].1.is_ascii_alphanumeric() || chars[i].1 == '_' || chars[i].1 == '.')
             {
-                s.push(chars[i]);
+                s.push(chars[i].1);
                 i += 1;
             }
-            out.push(Token::Ident(s));
+            out.push((Token::Ident(s), Span::new(start, byte_at(i))));
             continue;
         }
         match c {
-            '<' if i + 1 < chars.len() && chars[i + 1] == '>' => {
-                out.push(Token::Ne);
+            '<' if i + 1 < chars.len() && chars[i + 1].1 == '>' => {
+                out.push((Token::Ne, Span::new(start, byte_at(i + 2))));
                 i += 2;
             }
-            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
-                out.push(Token::Ne);
+            '!' if i + 1 < chars.len() && chars[i + 1].1 == '=' => {
+                out.push((Token::Ne, Span::new(start, byte_at(i + 2))));
                 i += 2;
             }
-            '<' if i + 1 < chars.len() && chars[i + 1] == '=' => {
-                out.push(Token::Le);
+            '<' if i + 1 < chars.len() && chars[i + 1].1 == '=' => {
+                out.push((Token::Le, Span::new(start, byte_at(i + 2))));
                 i += 2;
             }
-            '>' if i + 1 < chars.len() && chars[i + 1] == '=' => {
-                out.push(Token::Ge);
+            '>' if i + 1 < chars.len() && chars[i + 1].1 == '=' => {
+                out.push((Token::Ge, Span::new(start, byte_at(i + 2))));
                 i += 2;
             }
             '(' | ')' | ',' | '*' | '=' | '<' | '>' | '+' | '-' | '/' => {
-                out.push(Token::Symbol(c));
+                out.push((Token::Symbol(c), Span::new(start, byte_at(i + 1))));
                 i += 1;
             }
             other => {
-                return Err(RelError::Parse(format!("unexpected character '{other}'")));
+                return Err(parse_error(
+                    input,
+                    "P001",
+                    format!("unexpected character '{other}'"),
+                    Span::new(start, byte_at(i + 1)),
+                ));
             }
         }
     }
@@ -167,9 +207,9 @@ fn tokenize(input: &str) -> RelResult<Vec<Token>> {
 
 /// Heuristic: a '-' starts a negative number literal only if the previous
 /// token cannot end a value expression.
-fn starts_value(tokens: &[Token]) -> bool {
+fn starts_value(tokens: &[(Token, Span)]) -> bool {
     !matches!(
-        tokens.last(),
+        tokens.last().map(|(t, _)| t),
         Some(Token::Ident(_))
             | Some(Token::Number(_))
             | Some(Token::Str(_))
@@ -177,8 +217,9 @@ fn starts_value(tokens: &[Token]) -> bool {
     )
 }
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'s> {
+    source: &'s str,
+    tokens: Vec<(Token, Span)>,
     pos: usize,
 }
 
@@ -189,26 +230,39 @@ enum SelectItem {
     Aggregate(Aggregate),
 }
 
-impl Parser {
+impl Parser<'_> {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// The span of the current token, or a zero-width span at the end of the
+    /// source when all input has been consumed.
+    fn current_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| Span::new(self.source.len(), self.source.len()))
+    }
+
+    /// A parse error anchored to an explicit span.
+    fn error_at(&self, span: Span, code: &'static str, message: String) -> RelError {
+        parse_error(self.source, code, message, span)
+    }
+
+    /// A parse error anchored to the current token.
+    fn error_here(&self, code: &'static str, message: String) -> RelError {
+        self.error_at(self.current_span(), code, message)
     }
 
     fn peek_text(&self) -> String {
         match self.peek() {
-            Some(Token::Ident(s)) => s.clone(),
-            Some(Token::Number(s)) => s.clone(),
-            Some(Token::Str(s)) => format!("'{s}'"),
-            Some(Token::Symbol(c)) => c.to_string(),
-            Some(Token::Ne) => "<>".into(),
-            Some(Token::Le) => "<=".into(),
-            Some(Token::Ge) => ">=".into(),
+            Some(t) => token_text(t),
             None => "<end of input>".into(),
         }
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -232,10 +286,10 @@ impl Parser {
         if self.accept_keyword(kw) {
             Ok(())
         } else {
-            Err(RelError::Parse(format!(
-                "expected '{kw}', found '{}'",
-                self.peek_text()
-            )))
+            Err(self.error_here(
+                "P003",
+                format!("expected '{kw}', found '{}'", self.peek_text()),
+            ))
         }
     }
 
@@ -252,19 +306,24 @@ impl Parser {
         if self.accept_symbol(c) {
             Ok(())
         } else {
-            Err(RelError::Parse(format!(
-                "expected '{c}', found '{}'",
-                self.peek_text()
-            )))
+            Err(self.error_here(
+                "P003",
+                format!("expected '{c}', found '{}'", self.peek_text()),
+            ))
         }
     }
 
     fn expect_ident(&mut self) -> RelResult<String> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(RelError::Parse(format!(
-                "expected identifier, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error_here(
+                "P003",
+                format!("expected identifier, found '{}'", self.peek_text()),
+            )),
         }
     }
 
@@ -314,31 +373,37 @@ impl Parser {
         }
 
         // Build projection / aggregation from the select list.
-        let has_aggregates = items.iter().any(|i| matches!(i, SelectItem::Aggregate(_)));
+        let has_aggregates = items
+            .iter()
+            .any(|(i, _)| matches!(i, SelectItem::Aggregate(_)));
         if has_aggregates || !group_by.is_empty() {
             let mut aggregates = Vec::new();
-            for item in &items {
+            for (item, span) in &items {
                 match item {
                     SelectItem::Aggregate(a) => aggregates.push(a.clone()),
                     SelectItem::Column(name, _) => {
                         if !group_by.iter().any(|g| g.eq_ignore_ascii_case(name)) {
-                            return Err(RelError::Parse(format!(
-                                "column '{name}' must appear in GROUP BY"
-                            )));
+                            return Err(self.error_at(
+                                *span,
+                                "P005",
+                                format!("column '{name}' must appear in GROUP BY"),
+                            ));
                         }
                     }
                     SelectItem::Star => {
-                        return Err(RelError::Parse(
+                        return Err(self.error_at(
+                            *span,
+                            "P005",
                             "'*' cannot be combined with aggregates".into(),
                         ))
                     }
                 }
             }
             plan = plan.aggregate(group_by, aggregates);
-        } else if !(items.len() == 1 && matches!(items[0], SelectItem::Star)) {
+        } else if !(items.len() == 1 && matches!(items[0].0, SelectItem::Star)) {
             let exprs: Vec<(Expr, String)> = items
                 .iter()
-                .map(|i| match i {
+                .map(|(i, _)| match i {
                     SelectItem::Column(name, alias) => (
                         Expr::col(name.clone()),
                         alias.clone().unwrap_or_else(|| name.clone()),
@@ -394,20 +459,30 @@ impl Parser {
 
     /// Parse the non-negative integer operand of LIMIT / OFFSET.
     fn expect_count(&mut self, clause: &str) -> RelResult<usize> {
-        match self.next() {
-            Some(Token::Number(n)) => n
-                .parse()
-                .map_err(|_| RelError::Parse(format!("invalid {clause} '{n}'"))),
-            other => Err(RelError::Parse(format!(
-                "expected number after {clause}, found {other:?}"
-            ))),
+        let span = self.current_span();
+        match self.peek() {
+            Some(Token::Number(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                n.parse()
+                    .map_err(|_| self.error_at(span, "P004", format!("invalid {clause} '{n}'")))
+            }
+            _ => Err(self.error_at(
+                span,
+                "P003",
+                format!(
+                    "expected number after {clause}, found '{}'",
+                    self.peek_text()
+                ),
+            )),
         }
     }
 
-    fn parse_select_list(&mut self) -> RelResult<Vec<SelectItem>> {
+    fn parse_select_list(&mut self) -> RelResult<Vec<(SelectItem, Span)>> {
         let mut items = Vec::new();
         loop {
-            items.push(self.parse_select_item()?);
+            let span = self.current_span();
+            items.push((self.parse_select_item()?, span));
             if !self.accept_symbol(',') {
                 break;
             }
@@ -432,7 +507,7 @@ impl Parser {
             if self.accept_symbol('(') {
                 let column = if self.accept_symbol('*') {
                     if func != AggFunc::Count {
-                        return Err(RelError::Parse(format!("{func}(*) is not supported")));
+                        return Err(self.error_here("P005", format!("{func}(*) is not supported")));
                     }
                     None
                 } else {
@@ -528,6 +603,7 @@ impl Parser {
             self.expect_symbol(')')?;
             return Ok(e);
         }
+        let span = self.current_span();
         match self.next() {
             Some(Token::Ident(s)) => {
                 if s.eq_ignore_ascii_case("NULL") {
@@ -542,20 +618,38 @@ impl Parser {
             }
             Some(Token::Number(n)) => {
                 if n.contains('.') {
-                    let f: f64 = n
-                        .parse()
-                        .map_err(|_| RelError::Parse(format!("invalid number '{n}'")))?;
+                    let f: f64 = n.parse().map_err(|_| {
+                        self.error_at(span, "P004", format!("invalid number '{n}'"))
+                    })?;
                     Ok(Expr::lit(f))
                 } else {
-                    let i: i64 = n
-                        .parse()
-                        .map_err(|_| RelError::Parse(format!("invalid number '{n}'")))?;
+                    let i: i64 = n.parse().map_err(|_| {
+                        self.error_at(span, "P004", format!("invalid number '{n}'"))
+                    })?;
                     Ok(Expr::lit(i))
                 }
             }
             Some(Token::Str(s)) => Ok(Expr::lit(Value::text(s))),
-            other => Err(RelError::Parse(format!("expected a term, found {other:?}"))),
+            Some(other) => Err(self.error_at(
+                span,
+                "P003",
+                format!("expected a term, found '{}'", token_text(&other)),
+            )),
+            None => Err(self.error_at(span, "P003", "expected a term, found end of input".into())),
         }
+    }
+}
+
+/// Human-readable rendering of a token for error messages.
+fn token_text(t: &Token) -> String {
+    match t {
+        Token::Ident(s) => s.clone(),
+        Token::Number(s) => s.clone(),
+        Token::Str(s) => format!("'{s}'"),
+        Token::Symbol(c) => c.to_string(),
+        Token::Ne => "<>".into(),
+        Token::Le => "<=".into(),
+        Token::Ge => ">=".into(),
     }
 }
 
@@ -794,6 +888,72 @@ mod tests {
         assert!(parse("SELECT * FROM t WHERE name = 'unterminated").is_err());
         assert!(parse("SELECT SUM(*) FROM t").is_err());
         assert!(parse("SELECT name, COUNT(*) FROM t").is_err());
+    }
+
+    fn parse_err_message(sql: &str) -> String {
+        match parse(sql) {
+            Err(crate::error::RelError::Parse(m)) => m,
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_caret_context() {
+        let msg = parse_err_message("SELECT * FORM t");
+        assert!(
+            msg.contains("error[P003]: expected 'FROM', found 'FORM'"),
+            "{msg}"
+        );
+        assert!(msg.contains("| SELECT * FORM t"), "{msg}");
+        assert!(msg.contains("|          ^^^^"), "{msg}");
+    }
+
+    #[test]
+    fn parse_error_codes_cover_the_failure_classes() {
+        // P001: a character the tokenizer does not understand.
+        assert!(parse("SELECT * FROM t WHERE a @ 1").is_err());
+        let msg = parse_err_message("SELECT * FROM t WHERE a @ 1");
+        assert!(msg.contains("error[P001]"), "{msg}");
+
+        // P002: unterminated string, caret extends to end of input.
+        let msg = parse_err_message("SELECT * FROM t WHERE name = 'oops");
+        assert!(
+            msg.contains("error[P002]: unterminated string literal"),
+            "{msg}"
+        );
+        assert!(msg.contains("^"), "{msg}");
+
+        // P003: trailing input after a complete statement.
+        let msg = parse_err_message("SELECT * FROM t extra");
+        assert!(msg.contains("error[P003]"), "{msg}");
+        assert!(msg.contains("trailing input"), "{msg}");
+
+        // P003 at end of input: missing term after WHERE.
+        let msg = parse_err_message("SELECT * FROM t WHERE");
+        assert!(msg.contains("error[P003]"), "{msg}");
+        assert!(msg.contains("end of input"), "{msg}");
+
+        // P004: LIMIT operand too large to fit.
+        let msg = parse_err_message("SELECT * FROM t LIMIT 99999999999999999999999999");
+        assert!(msg.contains("error[P004]"), "{msg}");
+
+        // P005: grammar constraints.
+        let msg = parse_err_message("SELECT SUM(*) FROM t");
+        assert!(
+            msg.contains("error[P005]: SUM(*) is not supported"),
+            "{msg}"
+        );
+        let msg = parse_err_message("SELECT name, COUNT(*) FROM t");
+        assert!(
+            msg.contains("error[P005]: column 'name' must appear in GROUP BY"),
+            "{msg}"
+        );
+        assert!(msg.contains("| SELECT name, COUNT(*) FROM t"), "{msg}");
+        let msg = parse_err_message("SELECT *, COUNT(*) FROM t");
+        assert!(
+            msg.contains("error[P005]: '*' cannot be combined with aggregates"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -334,6 +334,15 @@ pub fn open<'a>(db: &'a Database, plan: &LogicalPlan) -> RelResult<RowStream<'a>
                 },
             })
         }
+        // A proven-empty relation: a scan over no rows, so downstream
+        // operators (join builds included) never do any work.
+        LogicalPlan::Empty { schema } => {
+            const NO_ROWS: &[Row] = &[];
+            Ok(RowStream {
+                schema: schema.clone(),
+                op: Op::Scan(NO_ROWS.iter()),
+            })
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Property-based tests for the relational substrate.
 
+use aladin_relstore::analyze::analyze;
 use aladin_relstore::exec::{execute, execute_naive};
-use aladin_relstore::expr::{like_match, Expr};
+use aladin_relstore::expr::{like_match, BinaryOp, Expr};
 use aladin_relstore::optimize::optimize;
 use aladin_relstore::plan::SortKey;
 use aladin_relstore::{ColumnDef, Database, LogicalPlan, Row, TableSchema, Value};
@@ -104,6 +105,45 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         (-1e12f64..1e12).prop_map(Value::float),
         "[a-zA-Z0-9_:;. -]{0,24}".prop_map(Value::text),
+    ]
+}
+
+/// A column of [`plan_db`]'s `entry` table — or one that does not exist, so
+/// the analyzer-gated properties also sample ill-formed plans.
+fn arb_column() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("id"), Just("acc"), Just("grp"), Just("missing")]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Ne),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge),
+    ]
+}
+
+/// One comparison conjunct, deliberately allowed to compare a column against
+/// a literal of any type class (the mismatched-predicate corpus).
+fn arb_comparison() -> impl Strategy<Value = Expr> {
+    (arb_column(), arb_cmp_op(), arb_value())
+        .prop_map(|(col, op, v)| Expr::binary(op, Expr::col(col), Expr::lit(v)))
+}
+
+/// A random predicate shape over random comparisons: single comparisons,
+/// conjunctions/disjunctions, negations, NULL tests, and (occasionally)
+/// ill-typed shapes such as a bare column used as the predicate.
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        arb_comparison(),
+        arb_comparison(),
+        (arb_comparison(), arb_comparison()).prop_map(|(a, b)| a.and(b)),
+        (arb_comparison(), arb_comparison()).prop_map(|(a, b)| a.or(b)),
+        arb_comparison().prop_map(|e| Expr::Not(Box::new(e))),
+        arb_column().prop_map(|c| Expr::IsNull(Box::new(Expr::col(c)))),
+        arb_column().prop_map(Expr::col),
     ]
 }
 
@@ -220,6 +260,75 @@ proptest! {
             "rows changed by:\n{}",
             optimized.explain()
         );
+    }
+
+    /// The two executor paths agree on predicates that compare a column with
+    /// a literal of a mismatched type class (Int column vs Text literal,
+    /// Float vs Bool, NULL, ...): the same rows when both succeed, and a
+    /// failure on both paths when either fails.
+    #[test]
+    fn mismatched_type_predicates_agree_across_executors(
+        entries in prop::collection::vec((0i64..20, "[a-c]{1,2}", 0i64..4), 0..30),
+        predicate in arb_predicate(),
+    ) {
+        let db = plan_db(&entries, &[]);
+        let plan = LogicalPlan::scan("entry").filter(predicate);
+        match (execute_naive(&db, &plan), execute(&db, &plan)) {
+            (Ok(naive), Ok(streamed)) => {
+                prop_assert_eq!(naive.schema().column_names(), streamed.schema().column_names());
+                prop_assert_eq!(naive.rows(), streamed.rows());
+            }
+            (naive, streamed) => prop_assert!(
+                naive.is_err() && streamed.is_err(),
+                "executors disagreed: naive={naive:?} streamed={streamed:?}"
+            ),
+        }
+    }
+
+    /// "Well-typed plans don't go wrong": when the static analyzer reports
+    /// no error diagnostics for a randomly generated filter plan, both
+    /// executor paths run without type errors and agree; the optimizer
+    /// (including proven-empty pruning) is observationally equivalent; and
+    /// when the analyzer proves the plan empty (W201), the *unoptimized*
+    /// naive path already returns zero rows.
+    #[test]
+    fn analyzer_clean_plans_dont_go_wrong(
+        entries in prop::collection::vec((0i64..20, "[a-c]{1,2}", 0i64..4), 0..30),
+        predicate in arb_predicate(),
+        second in prop_oneof![Just(None), arb_comparison().prop_map(Some)],
+    ) {
+        let db = plan_db(&entries, &[]);
+        let mut plan = LogicalPlan::scan("entry").filter(predicate);
+        if let Some(p) = second {
+            plan = plan.filter(p);
+        }
+        let analysis = analyze(&db, &plan);
+        if !analysis.has_errors() {
+            let naive = execute_naive(&db, &plan);
+            prop_assert!(naive.is_ok(), "analyzer-clean plan failed naively: {naive:?}");
+            let naive = naive.unwrap();
+            let streamed = execute(&db, &plan);
+            prop_assert!(streamed.is_ok(), "analyzer-clean plan failed streaming: {streamed:?}");
+            prop_assert_eq!(naive.rows(), streamed.unwrap().rows());
+
+            let optimized = optimize(&db, &plan);
+            let pruned = execute(&db, &optimized);
+            prop_assert!(pruned.is_ok(), "optimized plan failed: {pruned:?}");
+            prop_assert_eq!(
+                sorted_rows(naive.rows()),
+                sorted_rows(pruned.unwrap().rows()),
+                "optimizer changed results:\n{}",
+                optimized.explain()
+            );
+
+            if analysis.proven_empty() {
+                prop_assert_eq!(
+                    naive.row_count(),
+                    0,
+                    "analyzer proved empty but the unoptimized plan returned rows"
+                );
+            }
+        }
     }
 
     /// Filters partition a table: matching + non-matching row counts add up.

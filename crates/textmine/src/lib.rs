@@ -7,7 +7,7 @@
 //! retrieval, and data mining techniques" (paper, Section 3). This crate
 //! provides the text side of that mixture:
 //!
-//! * [`tokenize`] — tokenization and normalization of annotation text.
+//! * [`mod@tokenize`] — tokenization and normalization of annotation text.
 //! * [`distance`] — edit distance, Jaro-Winkler, Jaccard and containment
 //!   similarity for duplicate detection and cross-reference matching.
 //! * [`qgram`] — q-gram profiles and q-gram based string similarity.
