@@ -1,0 +1,306 @@
+//! Recovery experiment and crash harness for the durable relstore.
+//!
+//! Three modes:
+//!
+//! * **default / `--smoke`** — benchmark cold-start recovery time as a
+//!   function of WAL length, and against snapshot-based recovery, recording
+//!   the snapshot-compaction crossover (the WAL length beyond which taking
+//!   a checkpoint pays off at restart) in `BENCH_recovery.json`. `--smoke`
+//!   shrinks the sizes for CI.
+//! * **`--writer <dir>`** — run a durable server that integrates and then
+//!   endlessly refreshes a synthetic corpus rooted at `<dir>`, printing a
+//!   line per committed generation. This is the kill -9 target of the CI
+//!   crash drill: it is meant to die mid-commit.
+//! * **`--check <dir>`** — reopen the store at `<dir>` after a crash and
+//!   verify integrity: every recovered source passes its constraint check
+//!   and a resumed server continues at (or after) the last published
+//!   generation. Exits non-zero on any violation.
+
+use aladin_bench::print_table;
+use aladin_core::{AladinConfig, ServeConfig, Server};
+use aladin_datagen::{Corpus, CorpusConfig};
+use aladin_relstore::persist::{DurableDatabase, Mutation};
+use aladin_relstore::{ColumnDef, Database, TableSchema, Value};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("aladin-exp-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Median wall time of `f` in microseconds over `iters` runs.
+fn median_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn schema() -> TableSchema {
+    TableSchema::of(vec![
+        ColumnDef::int("id"),
+        ColumnDef::text("ac"),
+        ColumnDef::text("description"),
+    ])
+}
+
+/// A durable store with `batches` committed insert batches of `rows_each`
+/// rows and no checkpoint (recovery must replay the whole WAL).
+fn store_with_wal(dir: &Path, batches: usize, rows_each: usize) -> DurableDatabase {
+    let mut store = DurableDatabase::open_named(dir, "bench").expect("open store");
+    store.set_checkpoint_every(0); // manual checkpoints only
+    store.set_sync(false); // building the fixture, not measuring commits
+    store
+        .commit(vec![Mutation::CreateTable {
+            name: "entry".into(),
+            schema: schema(),
+        }])
+        .expect("create table");
+    for b in 0..batches {
+        let rows = (0..rows_each)
+            .map(|r| {
+                let id = (b * rows_each + r) as i64;
+                vec![
+                    Value::Int(id),
+                    Value::text(format!("P{id:06}")),
+                    Value::text(format!("synthetic protein number {id}")),
+                ]
+            })
+            .collect();
+        store.commit_insert("entry", rows).expect("commit batch");
+    }
+    store
+}
+
+fn bench(smoke: bool) {
+    let sizes: &[usize] = if smoke {
+        &[20, 80, 200]
+    } else {
+        &[50, 200, 800, 2000]
+    };
+    let rows_each = 8;
+    let iters = if smoke { 3 } else { 7 };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"smoke\": {smoke}, \"rows_per_batch\": {rows_each}}},"
+    );
+    json.push_str("  \"wal_replay\": [\n");
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut last_dir = None;
+    for (i, &batches) in sizes.iter().enumerate() {
+        let dir = temp_dir(&format!("wal-{batches}"));
+        dirs.push(dir.clone());
+        let store = store_with_wal(&dir, batches, rows_each);
+        let wal_bytes = store.wal_len_bytes();
+        drop(store);
+        let us = median_us(iters, || {
+            let reopened = Database::open(&dir).expect("recover");
+            assert!(!reopened.recovery().found_damage());
+            assert_eq!(reopened.recovery().records_replayed, batches + 1);
+        });
+        points.push((batches, us));
+        table.push(vec![
+            batches.to_string(),
+            wal_bytes.to_string(),
+            format!("{us:.1}"),
+        ]);
+        let comma = if i + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"records\": {batches}, \"wal_bytes\": {wal_bytes}, \"recover_us\": {us:.1}}}{comma}"
+        );
+        last_dir = Some((dir, batches));
+    }
+    json.push_str("  ],\n");
+
+    // Snapshot recovery at the largest size: checkpoint, then reopen —
+    // recovery now loads the snapshot instead of replaying the WAL.
+    let (dir, batches) = last_dir.expect("at least one size");
+    let mut store = Database::open(&dir).expect("reopen for checkpoint");
+    store.checkpoint().expect("checkpoint");
+    drop(store);
+    let snap_us = median_us(iters, || {
+        let reopened = Database::open(&dir).expect("recover from snapshot");
+        assert!(!reopened.recovery().found_damage());
+        assert_eq!(reopened.recovery().records_replayed, 0);
+    });
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"records\": {batches}, \"recover_us\": {snap_us:.1}}},"
+    );
+
+    // Crossover: replay time grows linearly with WAL length, snapshot load
+    // is (near-)constant. Fit replay = base + n * per_record from the first
+    // and last points; the crossover is where replay exceeds snapshot load.
+    let (n0, t0) = points[0];
+    let (n1, t1) = points[points.len() - 1];
+    let per_record = ((t1 - t0) / (n1 - n0) as f64).max(1e-3);
+    let base = (t0 - n0 as f64 * per_record).max(0.0);
+    let crossover = ((snap_us - base) / per_record).max(0.0);
+    let _ = writeln!(json, "  \"replay_per_record_us\": {per_record:.2},");
+    let _ = writeln!(json, "  \"crossover_records\": {crossover:.0}");
+    json.push_str("}\n");
+
+    print_table(
+        "Cold-start recovery: WAL replay (median µs)",
+        &["wal_records", "wal_bytes", "recover_us"],
+        &table,
+    );
+    print_table(
+        "Snapshot recovery and compaction crossover",
+        &[
+            "snapshot_recover_us",
+            "replay_per_record_us",
+            "crossover_records",
+        ],
+        &[vec![
+            format!("{snap_us:.1}"),
+            format!("{per_record:.2}"),
+            format!("{crossover:.0}"),
+        ]],
+    );
+
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("\nwrote BENCH_recovery.json");
+}
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig::small(42))
+}
+
+/// The kill -9 target: integrate the corpus into a durable server rooted at
+/// `dir`, then refresh sources forever, one committed generation per line.
+fn writer(dir: &Path) -> ! {
+    let config = AladinConfig::default().with_data_dir(dir);
+    let (server, recovery) = Server::resume(config, ServeConfig::default()).expect("resume writer");
+    println!(
+        "writer: resumed generation={:?} recovered={} lost={}",
+        server.resumed_generation(),
+        recovery.recovered.len(),
+        recovery.lost.len()
+    );
+    let corpus = corpus();
+    for dump in &corpus.sources {
+        if recovery.recovered.iter().any(|s| s == &dump.name) {
+            continue;
+        }
+        let db = aladin_import::import_files(&dump.name, dump.format, &dump.files)
+            .expect("import source");
+        server.add_database(db).expect("integrate source");
+        println!(
+            "writer: committed {} generation={}",
+            dump.name,
+            server.generation()
+        );
+        let _ = std::io::stdout().flush();
+    }
+    loop {
+        for dump in &corpus.sources {
+            let db = aladin_import::import_files(&dump.name, dump.format, &dump.files)
+                .expect("import source");
+            server.refresh_source(db, 1.0).expect("refresh source");
+            println!(
+                "writer: refreshed {} generation={}",
+                dump.name,
+                server.generation()
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
+
+/// Post-crash integrity check; exits non-zero on the first violation.
+fn check(dir: &Path) {
+    let config = AladinConfig::default().with_data_dir(dir);
+    let (aladin, recovery) = match aladin_core::Aladin::open(config.clone()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check: recovery failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "check: recovered={} lost={} truncated={:?} in {:.1}ms",
+        recovery.recovered.len(),
+        recovery.lost.len(),
+        recovery.truncated_events,
+        recovery.elapsed.as_secs_f64() * 1e3
+    );
+    if !recovery.lost.is_empty() {
+        eprintln!("check: lost committed sources: {:?}", recovery.lost);
+        std::process::exit(1);
+    }
+    for source in aladin.source_names() {
+        match aladin.database(source).and_then(|db| {
+            db.check_consistency()
+                .map_err(aladin_core::AladinError::from)
+        }) {
+            Ok(violations) if violations.is_empty() => {}
+            Ok(violations) => {
+                eprintln!("check: {source} violates constraints: {violations:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("check: {source} failed integrity check: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    drop(aladin);
+    let (server, _) = match Server::resume(config, ServeConfig::default()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check: server resume failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(marker) = server.resumed_generation() {
+        if server.generation() < marker {
+            eprintln!(
+                "check: resumed generation {} below published marker {marker}",
+                server.generation()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "check: ok — {} sources consistent, serving at generation {}",
+        server.snapshot().warehouse().source_names().len(),
+        server.generation()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--writer") => {
+            let dir = args.get(2).expect("--writer needs a directory");
+            writer(Path::new(dir));
+        }
+        Some("--check") => {
+            let dir = args.get(2).expect("--check needs a directory");
+            check(Path::new(dir));
+        }
+        Some("--smoke") => bench(true),
+        _ => bench(false),
+    }
+}

@@ -232,12 +232,24 @@ pub struct AladinConfig {
     /// Fetch attempts per file for the source-reading layer (1 = no
     /// retries).
     pub import_retry_attempts: usize,
-    /// Base backoff in milliseconds between fetch retries (retry `n` sleeps
-    /// `n * base`).
+    /// Base backoff in milliseconds between fetch retries; the delay grows
+    /// exponentially (`base * 2^(n-1)` before retry `n`).
     pub import_retry_backoff_ms: u64,
+    /// Upper bound in milliseconds on any single fetch-retry delay (the
+    /// exponential curve is capped here, jitter-free).
+    pub import_retry_max_backoff_ms: u64,
     /// Deterministic fault injection for tests and the fault harness; inert
     /// by default.
     pub faults: FaultInjection,
+
+    // -- durability --
+    /// Data directory for the durable warehouse. When set, the pipeline
+    /// persists per-source snapshots and a pipeline event log there
+    /// ([`crate::pipeline::Aladin::open`] recovers from it), and the serving
+    /// layer publishes its generation marker there
+    /// ([`crate::serve::Server::resume`]). `None` (the default) keeps the
+    /// historical fully-in-memory behaviour.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for AladinConfig {
@@ -271,7 +283,9 @@ impl Default for AladinConfig {
             import_error_budget: 0,
             import_retry_attempts: 3,
             import_retry_backoff_ms: 10,
+            import_retry_max_backoff_ms: 1_000,
             faults: FaultInjection::default(),
+            data_dir: None,
         }
     }
 }
@@ -313,14 +327,24 @@ impl AladinConfig {
         self
     }
 
+    /// This configuration with a data directory for durable persistence.
+    pub fn with_data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> AladinConfig {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
     /// The import options implied by this configuration.
     pub fn import_options(&self) -> aladin_import::ImportOptions {
         aladin_import::ImportOptions {
             error_budget: self.import_error_budget,
-            retry: aladin_import::RetryPolicy {
-                max_attempts: self.import_retry_attempts.max(1),
-                base_backoff: std::time::Duration::from_millis(self.import_retry_backoff_ms),
-            },
+            retry: aladin_import::RetryPolicy::exponential(
+                self.import_retry_attempts.max(1),
+                std::time::Duration::from_millis(self.import_retry_backoff_ms),
+                std::time::Duration::from_millis(
+                    self.import_retry_max_backoff_ms
+                        .max(self.import_retry_backoff_ms),
+                ),
+            ),
         }
     }
 }

@@ -44,6 +44,14 @@ pub enum AladinError {
         /// The sources that failed, in batch order, each with its error.
         failures: Vec<SourceFailure>,
     },
+    /// A durability operation (WAL append, snapshot write, marker publish,
+    /// cold-start recovery) failed.
+    Durability {
+        /// What was being persisted or recovered when the failure happened.
+        context: String,
+        /// The underlying storage-layer error.
+        cause: RelError,
+    },
 }
 
 impl fmt::Display for AladinError {
@@ -69,6 +77,9 @@ impl fmt::Display for AladinError {
                 }
                 Ok(())
             }
+            AladinError::Durability { context, cause } => {
+                write!(f, "durability error ({context}): {cause}")
+            }
         }
     }
 }
@@ -82,6 +93,7 @@ impl std::error::Error for AladinError {
             AladinError::PartialIntegration { failures } => failures
                 .first()
                 .map(|f| f.error.as_ref() as &(dyn std::error::Error + 'static)),
+            AladinError::Durability { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -130,6 +142,20 @@ mod tests {
         let e: AladinError = ImportError::Malformed("x".into()).into();
         assert!(e.source().unwrap().to_string().contains("malformed"));
         assert!(AladinError::UnknownSource("s".into()).source().is_none());
+    }
+
+    #[test]
+    fn durability_errors_chain_to_the_storage_cause() {
+        let e = AladinError::Durability {
+            context: "writing snapshot for source 'pdb'".into(),
+            cause: RelError::Durability("snapshot checksum mismatch".into()),
+        };
+        assert_eq!(
+            e.to_string(),
+            "durability error (writing snapshot for source 'pdb'): \
+             durability error: snapshot checksum mismatch"
+        );
+        assert!(e.source().unwrap().to_string().contains("checksum"));
     }
 
     #[test]

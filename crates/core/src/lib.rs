@@ -64,5 +64,7 @@ pub use metadata::{
     SourceStructure, StepTiming,
 };
 pub use parallel::JobPanic;
-pub use pipeline::{Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan, SourceOutcome};
+pub use pipeline::{
+    Aladin, BatchReport, IntegrationReport, LinkDiscoveryPlan, PipelineRecovery, SourceOutcome,
+};
 pub use serve::{ServeConfig, ServeMetrics, Server, Snapshot};

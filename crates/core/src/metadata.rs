@@ -394,6 +394,15 @@ impl MetadataRepository {
         self.generation
     }
 
+    /// Fast-forward the generation counter to at least `generation`, never
+    /// backwards. Used by cold-start recovery: a restarted server re-derives
+    /// its metadata from recovered sources, which resets the counter, but
+    /// published generation markers on disk must stay monotone across the
+    /// restart.
+    pub fn fast_forward_generation(&mut self, generation: u64) {
+        self.generation = self.generation.max(generation);
+    }
+
     /// Register (or replace) the structure of a source.
     pub fn put_structure(&mut self, structure: SourceStructure) {
         self.generation += 1;

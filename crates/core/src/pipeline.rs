@@ -58,9 +58,11 @@ use crate::secondary::discover_secondary_relations;
 use crate::unique::detect_unique_columns;
 use aladin_import::{import_files_with, QuarantinedRecord, SourceFormat};
 use aladin_relstore::stats::profile_table;
-use aladin_relstore::Database;
+use aladin_relstore::wal::{self, Wal};
+use aladin_relstore::{persist, Database, RelError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Number of sample values stored per column in the metadata repository.
@@ -415,6 +417,98 @@ struct StagedSource {
     report: IntegrationReport,
 }
 
+/// What [`Aladin::open`] recovered from the data directory.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineRecovery {
+    /// Sources recovered and re-integrated, in last-commit order.
+    pub recovered: Vec<String>,
+    /// Sources named by the event log whose snapshots were missing, corrupt,
+    /// or failed re-integration; recovery proceeds without them.
+    pub lost: Vec<String>,
+    /// Why (and that) the pipeline event log's tail was truncated, if it was.
+    pub truncated_events: Option<String>,
+    /// Wall-clock time of the whole recovery (snapshot loads +
+    /// re-integration).
+    pub elapsed: Duration,
+}
+
+/// Wrap a storage-layer durability failure in the pipeline error taxonomy.
+fn durability(context: impl Into<String>, cause: RelError) -> AladinError {
+    AladinError::Durability {
+        context: context.into(),
+        cause,
+    }
+}
+
+/// File-system-safe snapshot file name for a source: alphanumerics, `.`,
+/// `_` and `-` pass through, every other byte is `%XX`-escaped (injective,
+/// so distinct source names never collide on disk).
+fn source_snapshot_file(source: &str) -> String {
+    let mut out = String::with_capacity(source.len() + 5);
+    for b in source.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out.push_str(".snap");
+    out
+}
+
+/// Append one committed-sources event to the pipeline event log. The log is
+/// tiny (one record per batch), so each append re-opens and replays it —
+/// that keeps [`Aladin`] free of file handles and therefore `Clone`.
+fn append_pipeline_event(dir: &Path, names: &[String]) -> Result<(), RelError> {
+    let (_, mut log) = Wal::recover(&dir.join("pipeline.wal"), 0)?;
+    let mut payload = Vec::new();
+    payload.push(1u8);
+    persist::put_u32(&mut payload, names.len() as u32);
+    for name in names {
+        persist::put_str(&mut payload, name);
+    }
+    log.append(&payload)?;
+    Ok(())
+}
+
+/// Replay the pipeline event log into the list of active sources in
+/// last-commit order. Damage truncates the tail (reported, never fatal);
+/// an undecodable record stops replay the same way.
+fn replay_pipeline_events(dir: &Path) -> Result<(Vec<String>, Option<String>), RelError> {
+    let replay = wal::replay(&dir.join("pipeline.wal"), 0)?;
+    let mut active: Vec<String> = Vec::new();
+    let mut truncated = replay.truncated;
+    'records: for record in &replay.records {
+        let mut cur = persist::Cursor::new(&record.payload);
+        let decoded = (|| -> Result<Vec<String>, RelError> {
+            if cur.u8()? != 1 {
+                return Err(RelError::Durability("unknown pipeline event tag".into()));
+            }
+            let n = cur.u32()? as usize;
+            let mut names = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                names.push(cur.str()?);
+            }
+            Ok(names)
+        })();
+        match decoded {
+            Ok(names) => {
+                for name in names {
+                    active.retain(|a| a != &name);
+                    active.push(name);
+                }
+            }
+            Err(e) => {
+                truncated = Some(format!(
+                    "event record seq {} undecodable ({e}); tail ignored",
+                    record.seq
+                ));
+                break 'records;
+            }
+        }
+    }
+    Ok((active, truncated))
+}
+
 /// The ALADIN warehouse and integration pipeline.
 #[derive(Debug, Clone)]
 pub struct Aladin {
@@ -460,6 +554,12 @@ impl Aladin {
     /// The metadata repository.
     pub fn metadata(&self) -> &MetadataRepository {
         &self.metadata
+    }
+
+    /// Mutable metadata access for the serving layer's resume path (fast-
+    /// forwarding the generation counter past the recovery reset).
+    pub(crate) fn metadata_mut(&mut self) -> &mut MetadataRepository {
+        &mut self.metadata
     }
 
     /// Names of the integrated sources.
@@ -612,6 +712,17 @@ impl Aladin {
                         }));
                     }
                 },
+            }
+        }
+
+        // Durability: before any in-memory commit, persist the staged
+        // sources' snapshots and one event-log record naming them all, so a
+        // crash after this point recovers the whole batch and a crash before
+        // it recovers none of it (batch atomicity on disk mirrors the
+        // in-memory staging contract).
+        if !staged.is_empty() {
+            if let Some(dir) = self.config.data_dir.clone() {
+                self.persist_staged(&dir, &staged)?;
             }
         }
 
@@ -779,6 +890,105 @@ impl Aladin {
         })
     }
 
+    /// Persist the staged sources of one batch: a checksummed snapshot per
+    /// source under `sources/`, then a single event-log record naming them
+    /// all. The event record is the commit point — snapshot files without it
+    /// are invisible to recovery — so on any failure the snapshots written
+    /// here are removed again (best-effort) and the batch reports a
+    /// [`AladinError::Durability`] without mutating the warehouse.
+    fn persist_staged(&self, dir: &Path, staged: &[StagedSource]) -> AladinResult<()> {
+        let sources_dir = dir.join("sources");
+        std::fs::create_dir_all(&sources_dir).map_err(|e| {
+            durability(
+                "creating sources directory",
+                RelError::Durability(e.to_string()),
+            )
+        })?;
+        let mut written: Vec<PathBuf> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let outcome = (|| -> Result<(), AladinError> {
+            for s in staged {
+                let name = s.report.source.clone();
+                let path = sources_dir.join(source_snapshot_file(&name));
+                let fresh = !path.exists();
+                persist::write_snapshot_at(&path, &s.db, 0)
+                    .map_err(|e| durability(format!("writing snapshot for '{name}'"), e))?;
+                if fresh {
+                    written.push(path);
+                }
+                names.push(name);
+            }
+            append_pipeline_event(dir, &names)
+                .map_err(|e| durability("appending pipeline commit event", e))
+        })();
+        if outcome.is_err() {
+            for path in written {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        outcome
+    }
+
+    /// Reopen a durable warehouse from [`AladinConfig::data_dir`]: replay the
+    /// pipeline event log (truncating a torn tail), load every active
+    /// source's snapshot, and re-integrate them in last-commit order. A
+    /// missing or corrupt snapshot loses that source — reported in
+    /// [`PipelineRecovery::lost`] — never the whole warehouse. Discovery is
+    /// deterministic, so re-integration reproduces the links and duplicates
+    /// the crashed process had published.
+    pub fn open(config: AladinConfig) -> AladinResult<(Aladin, PipelineRecovery)> {
+        let start = Instant::now();
+        let dir = config.data_dir.clone().ok_or_else(|| {
+            durability(
+                "opening durable warehouse",
+                RelError::Durability("AladinConfig::data_dir is not set".into()),
+            )
+        })?;
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            durability(
+                "creating data directory",
+                RelError::Durability(e.to_string()),
+            )
+        })?;
+        let (active, truncated_events) = replay_pipeline_events(&dir)
+            .map_err(|e| durability("replaying pipeline event log", e))?;
+        let sources_dir = dir.join("sources");
+        let mut recovery = PipelineRecovery {
+            truncated_events,
+            ..PipelineRecovery::default()
+        };
+        let mut dbs = Vec::new();
+        for name in active {
+            let path = sources_dir.join(source_snapshot_file(&name));
+            match persist::read_snapshot(&path) {
+                Ok((db, _)) => dbs.push(db),
+                Err(_) => recovery.lost.push(name),
+            }
+        }
+        // Re-integrate with persistence off: the snapshots and events being
+        // replayed are already on disk, re-logging them would duplicate the
+        // history. `data_dir` is restored afterwards so later commits
+        // persist normally.
+        let mut offline = config.clone();
+        offline.data_dir = None;
+        let mut aladin = Aladin::new(offline);
+        let report = aladin.add_databases_with(dbs, BatchErrorPolicy::ContinueOnError)?;
+        for outcome in &report.outcomes {
+            match outcome {
+                SourceOutcome::Integrated(r) => recovery.recovered.push(r.source.clone()),
+                SourceOutcome::Quarantined(f) => recovery.lost.push(f.source.clone()),
+            }
+        }
+        aladin.config.data_dir = config.data_dir;
+        recovery.elapsed = start.elapsed();
+        aladin.metadata.add_timing(StepTiming::local(
+            "warehouse",
+            "cold-start recovery",
+            recovery.elapsed,
+        ));
+        Ok((aladin, recovery))
+    }
+
     /// Apply one staged source to the metadata repository and the warehouse.
     /// This is the only place integration mutates `self`, and it cannot fail:
     /// everything fallible happened during staging.
@@ -848,6 +1058,12 @@ impl Aladin {
                 )))
             })?;
         let staged = self.stage_source(db, structure, elapsed, &[], Some(&name))?;
+        // Durability: overwrite the source's snapshot (atomically) and log a
+        // re-commit event before swapping in memory, so a crash during the
+        // swap recovers the refreshed version.
+        if let Some(dir) = self.config.data_dir.clone() {
+            self.persist_staged(&dir, std::slice::from_ref(&staged))?;
+        }
         // Staging succeeded — only now retire the stale version.
         self.warehouse.remove(&name);
         self.metadata.remove_source(&name);

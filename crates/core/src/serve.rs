@@ -55,14 +55,16 @@
 //! ```
 
 use crate::access::{ObjectHit, ObjectRecord, ObjectView, QuerySpec, Warehouse};
+use crate::config::AladinConfig;
 use crate::error::{AladinError, AladinResult};
 use crate::metadata::ObjectRef;
-use crate::pipeline::{Aladin, IntegrationReport};
+use crate::pipeline::{Aladin, IntegrationReport, PipelineRecovery};
 use aladin_relstore::plan::fingerprint_bytes;
 use aladin_relstore::sql::Statement;
-use aladin_relstore::{Database, LogicalPlan, RelError, Table};
+use aladin_relstore::{persist, Database, LogicalPlan, RelError, Table};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
@@ -147,6 +149,28 @@ impl Snapshot {
     pub fn generation(&self) -> u64 {
         self.generation
     }
+}
+
+/// Write the published-generation marker: a tiny checksummed blob naming
+/// the generation and the sources it covers, written atomically to
+/// `<data_dir>/GENERATION` *before* the in-memory snapshot swap — a crash
+/// between the two leaves a marker no higher than what the next publish
+/// will (deterministically) reproduce.
+fn write_generation_marker(dir: &Path, generation: u64, sources: &[&str]) -> Result<(), RelError> {
+    let mut payload = Vec::new();
+    persist::put_u64(&mut payload, generation);
+    persist::put_u32(&mut payload, sources.len() as u32);
+    for s in sources {
+        persist::put_str(&mut payload, s);
+    }
+    persist::write_blob(&dir.join("GENERATION"), &payload)
+}
+
+/// Read the published-generation marker. A missing or corrupt marker is
+/// `None` — resume proceeds from the recovered state without one.
+fn read_generation_marker(dir: &Path) -> Option<u64> {
+    let blob = persist::read_blob(&dir.join("GENERATION")).ok()?;
+    persist::Cursor::new(&blob).u64().ok()
 }
 
 fn build_snapshot(master: &Aladin) -> AladinResult<Snapshot> {
@@ -428,6 +452,9 @@ pub struct Server {
     config: ServeConfig,
     snapshots_published: AtomicU64,
     queries_served: AtomicU64,
+    /// Generation marker found on disk by [`Server::resume`], `None` for a
+    /// fresh [`Server::start`] or when no valid marker existed.
+    resumed_from: Option<u64>,
 }
 
 impl std::fmt::Debug for Server {
@@ -444,6 +471,7 @@ impl Server {
     /// initial snapshot.
     pub fn start(aladin: Aladin, config: ServeConfig) -> AladinResult<Server> {
         let snapshot = build_snapshot(&aladin)?;
+        Self::publish_marker(&aladin, snapshot.generation)?;
         Ok(Server {
             master: Mutex::new(aladin),
             current: RwLock::new(snapshot),
@@ -452,7 +480,50 @@ impl Server {
             config,
             snapshots_published: AtomicU64::new(1),
             queries_served: AtomicU64::new(0),
+            resumed_from: None,
         })
+    }
+
+    /// Restart serving from [`AladinConfig::data_dir`]: recover the
+    /// warehouse via [`Aladin::open`], read the published-generation marker,
+    /// and fast-forward the metadata generation so the first published
+    /// snapshot resumes at (not below) the last generation the crashed
+    /// server had published. Returns the server plus what recovery found.
+    pub fn resume(
+        config: AladinConfig,
+        serve: ServeConfig,
+    ) -> AladinResult<(Server, PipelineRecovery)> {
+        let data_dir = config.data_dir.clone();
+        let (mut aladin, recovery) = Aladin::open(config)?;
+        let resumed_from = data_dir.as_deref().and_then(read_generation_marker);
+        if let Some(generation) = resumed_from {
+            aladin.metadata_mut().fast_forward_generation(generation);
+        }
+        let mut server = Server::start(aladin, serve)?;
+        server.resumed_from = resumed_from;
+        Ok((server, recovery))
+    }
+
+    /// The generation marker found on disk by [`Server::resume`] (`None`
+    /// for a fresh start or when no valid marker existed). The first
+    /// published generation is always `>=` this value.
+    pub fn resumed_generation(&self) -> Option<u64> {
+        self.resumed_from
+    }
+
+    /// Persist the generation marker when the pipeline is durable; a no-op
+    /// for in-memory configurations.
+    fn publish_marker(master: &Aladin, generation: u64) -> AladinResult<()> {
+        if let Some(dir) = &master.config().data_dir {
+            let names = master.source_names();
+            write_generation_marker(dir, generation, &names).map_err(|cause| {
+                AladinError::Durability {
+                    context: "publishing generation marker".into(),
+                    cause,
+                }
+            })?;
+        }
+        Ok(())
     }
 
     /// The serving configuration.
@@ -503,6 +574,9 @@ impl Server {
     fn publish(&self, master: &Aladin) -> AladinResult<()> {
         let snapshot = build_snapshot(master)?;
         let generation = snapshot.generation;
+        // Marker before swap: a failure here publishes neither, so disk and
+        // memory never disagree about what was served.
+        Self::publish_marker(master, generation)?;
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
         self.cache.retain_generation(generation);
         self.analysis.retain_generation(generation);

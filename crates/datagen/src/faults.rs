@@ -22,10 +22,13 @@
 
 use crate::corpus::SourceDump;
 use aladin_import::{FetchError, MemoryFetcher, SourceFetcher, SourceFormat};
+use aladin_relstore::error::{RelError, RelResult};
+use aladin_relstore::wal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Rates of the text-level corruptions applied by [`corrupt_dump`]. All
 /// rates are per eligible line and clamped to `[0, 1]`; a config with every
@@ -229,6 +232,102 @@ pub fn corrupt_bytes(dump: &SourceDump, config: &FaultConfig) -> Vec<(String, Ve
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Disk faults: write-ahead-log corruption
+// ---------------------------------------------------------------------------
+//
+// The text-level injectors above damage *dumps before import*; these damage
+// the *durable store after commit* — the on-disk write-ahead log of
+// `aladin_relstore::wal` — in the ways real disks and crashes do: torn final
+// records (power loss mid-append), flipped bits (media rot), duplicated and
+// reordered records (misdirected writes, replayed journals), and fsyncs
+// that report failure (dying devices; injected via
+// `aladin_relstore::persist::DurableDatabase::inject_fsync_failures`).
+// Recovery must survive every one of them losing at most the corrupted
+// tail; the recovery test suites drive these against `Database::open`.
+
+fn disk_fault_err(context: &str, e: std::io::Error) -> RelError {
+    RelError::Durability(format!("{context}: {e}"))
+}
+
+/// The frame spans of a WAL file, failing if the log has no records to
+/// damage (an injector on an empty log would silently test nothing).
+fn spans_of(path: &Path) -> RelResult<Vec<(u64, u64)>> {
+    let spans = wal::frame_spans(path)?;
+    if spans.is_empty() {
+        return Err(RelError::Durability(format!(
+            "no WAL records to corrupt in {}",
+            path.display()
+        )));
+    }
+    Ok(spans)
+}
+
+/// Truncate the WAL mid-way through its final record (a torn append),
+/// keeping the record's header but cutting its payload roughly in half.
+/// Returns the new file length.
+pub fn truncate_wal_mid_record(path: &Path) -> RelResult<u64> {
+    let spans = spans_of(path)?;
+    let (offset, len) = spans[spans.len() - 1];
+    let cut = offset + len / 2;
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| disk_fault_err("opening WAL for truncation", e))?;
+    file.set_len(cut)
+        .map_err(|e| disk_fault_err("truncating WAL", e))?;
+    Ok(cut)
+}
+
+/// Flip every bit of one byte at `offset` (media corruption). The offset is
+/// absolute within the file; pair with [`aladin_relstore::wal::frame_spans`]
+/// to target specific records.
+pub fn flip_wal_byte(path: &Path, offset: u64) -> RelResult<()> {
+    let mut bytes = std::fs::read(path).map_err(|e| disk_fault_err("reading WAL", e))?;
+    let idx = usize::try_from(offset)
+        .ok()
+        .filter(|&i| i < bytes.len())
+        .ok_or_else(|| {
+            RelError::Durability(format!(
+                "offset {offset} beyond WAL of {} bytes",
+                bytes.len()
+            ))
+        })?;
+    bytes[idx] ^= 0xFF;
+    std::fs::write(path, &bytes).map_err(|e| disk_fault_err("rewriting WAL", e))
+}
+
+/// Append a byte-exact copy of the final WAL record (a replayed journal
+/// write). Replay must skip the duplicate, not apply the batch twice.
+pub fn duplicate_last_wal_record(path: &Path) -> RelResult<()> {
+    let spans = spans_of(path)?;
+    let (offset, len) = spans[spans.len() - 1];
+    let bytes = std::fs::read(path).map_err(|e| disk_fault_err("reading WAL", e))?;
+    let (start, end) = (offset as usize, (offset + len) as usize);
+    let mut out = bytes.clone();
+    out.extend_from_slice(&bytes[start..end]);
+    std::fs::write(path, &out).map_err(|e| disk_fault_err("rewriting WAL", e))
+}
+
+/// Swap the last two WAL records on disk (misdirected / reordered writes).
+/// Replay must stop at the out-of-order record instead of applying batches
+/// out of commit order; the log needs at least two records.
+pub fn swap_last_two_wal_records(path: &Path) -> RelResult<()> {
+    let spans = spans_of(path)?;
+    if spans.len() < 2 {
+        return Err(RelError::Durability(
+            "need at least two WAL records to reorder".into(),
+        ));
+    }
+    let (off_a, len_a) = spans[spans.len() - 2];
+    let (off_b, len_b) = spans[spans.len() - 1];
+    let bytes = std::fs::read(path).map_err(|e| disk_fault_err("reading WAL", e))?;
+    let mut out = bytes[..off_a as usize].to_vec();
+    out.extend_from_slice(&bytes[off_b as usize..(off_b + len_b) as usize]);
+    out.extend_from_slice(&bytes[off_a as usize..(off_a + len_a) as usize]);
+    std::fs::write(path, &out).map_err(|e| disk_fault_err("rewriting WAL", e))
+}
+
 /// A scripted [`SourceFetcher`] for reader-level faults: each file fails
 /// transiently a configured number of times before succeeding, files listed
 /// as broken always fail permanently, and files listed as panicking panic —
@@ -405,6 +504,73 @@ mod tests {
 
         let mut f = FlakyFetcher::over(&dump()).with_broken_file("rows.tsv");
         assert!(matches!(f.fetch("rows.tsv"), Err(FetchError::Permanent(_))));
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "aladin-datagen-faults-{tag}-{}-{n}.wal",
+            std::process::id()
+        ))
+    }
+
+    fn sample_wal(tag: &str, records: usize) -> std::path::PathBuf {
+        let path = temp_wal(tag);
+        let mut w = wal::Wal::create(&path, 0).unwrap();
+        for i in 0..records {
+            w.append(format!("batch-{i}").as_bytes()).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn wal_injectors_damage_the_log_in_recognizable_ways() {
+        // Torn tail: the final record's payload is cut; replay keeps the
+        // earlier records and reports the truncation.
+        let path = sample_wal("torn", 3);
+        truncate_wal_mid_record(&path).unwrap();
+        let replay = wal::replay(&path, 0).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.truncated.is_some());
+
+        // Bit flip inside the last record: CRC catches it.
+        let path = sample_wal("flip", 3);
+        let spans = wal::frame_spans(&path).unwrap();
+        let (off, len) = spans[2];
+        flip_wal_byte(&path, off + len - 1).unwrap();
+        let replay = wal::replay(&path, 0).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.truncated.is_some());
+
+        // Duplicate: skipped silently, nothing applied twice.
+        let path = sample_wal("dup", 3);
+        duplicate_last_wal_record(&path).unwrap();
+        let replay = wal::replay(&path, 0).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.duplicates_skipped, 1);
+        assert!(replay.truncated.is_none());
+
+        // Reorder: replay stops at the first out-of-order record (seq 3
+        // where 2 was expected), so only the intact prefix survives.
+        let path = sample_wal("swap", 3);
+        swap_last_two_wal_records(&path).unwrap();
+        let replay = wal::replay(&path, 0).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.truncated.is_some());
+    }
+
+    #[test]
+    fn wal_injectors_refuse_logs_with_nothing_to_damage() {
+        let path = temp_wal("empty");
+        let _ = wal::Wal::create(&path, 0).unwrap();
+        assert!(truncate_wal_mid_record(&path).is_err());
+        assert!(duplicate_last_wal_record(&path).is_err());
+        assert!(swap_last_two_wal_records(&path).is_err());
+
+        let path = sample_wal("one", 1);
+        assert!(swap_last_two_wal_records(&path).is_err());
     }
 
     #[test]

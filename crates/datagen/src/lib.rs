@@ -43,6 +43,9 @@ pub mod vocab;
 pub mod world;
 
 pub use corpus::{Corpus, CorpusConfig, SourceDump};
-pub use faults::{corrupt_bytes, corrupt_dump, corrupt_sources, FaultConfig, FlakyFetcher};
+pub use faults::{
+    corrupt_bytes, corrupt_dump, corrupt_sources, duplicate_last_wal_record, flip_wal_byte,
+    swap_last_two_wal_records, truncate_wal_mid_record, FaultConfig, FlakyFetcher,
+};
 pub use truth::{DuplicatePair, GroundTruth, ObjectLink, SourceTruth};
 pub use world::World;

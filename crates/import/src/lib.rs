@@ -50,4 +50,4 @@ pub use importer::{
     SourceFormat,
 };
 pub use quarantine::{Quarantine, QuarantinedRecord};
-pub use reader::{FetchError, MemoryFetcher, RetryPolicy, SourceFetcher};
+pub use reader::{Backoff, FetchError, MemoryFetcher, RetryPolicy, SourceFetcher};

@@ -5,9 +5,10 @@
 //! provided by a [`SourceFetcher`] — in-memory for tests and the synthetic
 //! corpus, but the trait is the seam where FTP/HTTP readers would plug in.
 //! Fetching is where *transient* faults live (connection resets, short
-//! reads), so [`fetch_with_retry`] retries a bounded number of times with
-//! linear backoff before giving up with [`ImportError::Io`]. Permanent
-//! failures (file missing, access denied) are never retried.
+//! reads), so [`fetch_with_retry`] retries a bounded number of times — by
+//! default with exponential backoff capped at a max delay, or linear via
+//! [`RetryPolicy::linear`] — before giving up with [`ImportError::Io`].
+//! Permanent failures (file missing, access denied) are never retried.
 //!
 //! Fetched bytes are decoded to UTF-8 here as well: in strict mode a stray
 //! byte fails the file, in tolerant mode the offending sequences are replaced
@@ -86,21 +87,33 @@ impl SourceFetcher for MemoryFetcher {
     }
 }
 
+/// Backoff growth curve of a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backoff {
+    /// Delay before retry `n` is `base_backoff * n`.
+    Linear,
+    /// Delay before retry `n` is `base_backoff * 2^(n-1)`, capped at the
+    /// policy's `max_backoff`. No jitter: fetches are single-threaded per
+    /// source, so deterministic delays keep tests and benches reproducible.
+    Exponential,
+}
+
 /// Bounded retry policy for transient fetch failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per file (1 = no retries).
     pub max_attempts: usize,
-    /// Backoff slept before retry `n` is `base_backoff * n` (linear).
+    /// Base delay the growth curve scales from.
     pub base_backoff: Duration,
+    /// Upper bound on any single delay (relevant for [`Backoff::Exponential`]).
+    pub max_backoff: Duration,
+    /// Growth curve.
+    pub backoff: Backoff,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(10),
-        }
+        RetryPolicy::exponential(3, Duration::from_millis(10), Duration::from_secs(1))
     }
 }
 
@@ -110,6 +123,60 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            backoff: Backoff::Linear,
+        }
+    }
+
+    /// Linear backoff: `base * n` before retry `n` (the original policy).
+    pub fn linear(max_attempts: usize, base_backoff: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff,
+            max_backoff: Duration::MAX,
+            backoff: Backoff::Linear,
+        }
+    }
+
+    /// Exponential backoff: `base * 2^(n-1)` before retry `n`, never more
+    /// than `max_backoff`.
+    pub fn exponential(
+        max_attempts: usize,
+        base_backoff: Duration,
+        max_backoff: Duration,
+    ) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff,
+            max_backoff,
+            backoff: Backoff::Exponential,
+        }
+    }
+
+    /// The delay slept before retry attempt `n` (1-based: `delay_before(1)`
+    /// precedes the first *retry*, i.e. the second attempt). Overflow
+    /// saturates into the cap instead of wrapping.
+    pub fn delay_before(&self, attempt: usize) -> Duration {
+        let attempt = attempt.max(1) as u32;
+        match self.backoff {
+            Backoff::Linear => self
+                .base_backoff
+                .checked_mul(attempt)
+                .unwrap_or(Duration::MAX)
+                .min(self.max_backoff),
+            Backoff::Exponential => {
+                let factor = if attempt >= 64 {
+                    u32::MAX
+                } else {
+                    1u64.checked_shl(attempt - 1)
+                        .map(|f| u32::try_from(f).unwrap_or(u32::MAX))
+                        .unwrap_or(u32::MAX)
+                };
+                self.base_backoff
+                    .checked_mul(factor)
+                    .unwrap_or(Duration::MAX)
+                    .min(self.max_backoff)
+            }
         }
     }
 }
@@ -137,7 +204,7 @@ pub fn fetch_with_retry(
             Err(FetchError::Transient(m)) => {
                 last_error = m;
                 if attempt < attempts && !policy.base_backoff.is_zero() {
-                    std::thread::sleep(policy.base_backoff * attempt as u32);
+                    std::thread::sleep(policy.delay_before(attempt));
                 }
             }
         }
@@ -214,10 +281,7 @@ mod tests {
     }
 
     fn quick() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::ZERO,
-        }
+        RetryPolicy::linear(3, Duration::ZERO)
     }
 
     #[test]
@@ -252,6 +316,32 @@ mod tests {
         let err = fetch_with_retry(&mut f, "f.csv", &quick()).unwrap_err();
         assert_eq!(f.attempts, 1);
         assert!(matches!(err, ImportError::Io { attempts: 1, .. }));
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_then_caps() {
+        let p = RetryPolicy::exponential(8, Duration::from_millis(10), Duration::from_millis(50));
+        assert_eq!(p.delay_before(1), Duration::from_millis(10));
+        assert_eq!(p.delay_before(2), Duration::from_millis(20));
+        assert_eq!(p.delay_before(3), Duration::from_millis(40));
+        // The cap flattens the curve from here on, even at absurd depths.
+        assert_eq!(p.delay_before(4), Duration::from_millis(50));
+        assert_eq!(p.delay_before(100), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn linear_backoff_grows_by_base_each_attempt() {
+        let p = RetryPolicy::linear(5, Duration::from_millis(10));
+        assert_eq!(p.delay_before(1), Duration::from_millis(10));
+        assert_eq!(p.delay_before(3), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn default_policy_is_capped_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff, Backoff::Exponential);
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.max_backoff, Duration::from_secs(1));
     }
 
     #[test]

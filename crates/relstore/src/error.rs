@@ -24,6 +24,11 @@ pub enum RelError {
     /// The static analyzer ([`crate::analyze`]) rejected a plan before
     /// execution; the payload is the rendered error diagnostic(s).
     Analysis(String),
+    /// A durability operation failed: WAL append/fsync, snapshot read/write,
+    /// or cold-start recovery ([`crate::wal`], [`crate::persist`]). The
+    /// payload is the rendered cause; the variant stays `Clone + Eq` like the
+    /// rest of the enum, so I/O errors are carried as their message.
+    Durability(String),
 }
 
 impl fmt::Display for RelError {
@@ -38,6 +43,7 @@ impl fmt::Display for RelError {
             RelError::Exec(m) => write!(f, "execution error: {m}"),
             RelError::AlreadyExists(m) => write!(f, "already exists: {m}"),
             RelError::Analysis(m) => write!(f, "analysis error: {m}"),
+            RelError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }

@@ -40,6 +40,10 @@
 //! * [`sql`] — a deliberately small SQL dialect (`[EXPLAIN] SELECT ... FROM
 //!   ... JOIN ... WHERE ... GROUP BY ... ORDER BY ... LIMIT`) so that the
 //!   "structured queries" access mode of ALADIN can be exercised end to end.
+//! * [`wal`], [`persist`] — durability: a CRC32-checksummed, fsync'd
+//!   write-ahead log of committed mutation batches plus atomic checksummed
+//!   snapshots, combined by [`DurableDatabase`] with cold-start recovery
+//!   (newest valid snapshot + WAL tail replay, truncating torn records).
 //! * [`index`] — hash indexes on single columns, used by the access engine,
 //!   by explicit-link discovery, and by the executor's `IndexScan` nodes via
 //!   the catalog's lazily built index cache ([`Database::hash_index`]).
@@ -58,6 +62,7 @@ pub mod exec;
 pub mod expr;
 pub mod index;
 pub mod optimize;
+pub mod persist;
 pub mod plan;
 pub mod schema;
 pub mod sql;
@@ -66,11 +71,13 @@ pub mod stream;
 pub mod table;
 pub mod types;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Database;
 pub use constraint::{Constraint, ForeignKey};
 pub use error::{RelError, RelResult};
 pub use expr::Expr;
+pub use persist::{DurableDatabase, Mutation, RecoveryReport};
 pub use plan::LogicalPlan;
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, Table};

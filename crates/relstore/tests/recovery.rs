@@ -1,0 +1,243 @@
+//! Crash-recovery equivalence and fault-injection suite for the durable
+//! store: `Database::open` after snapshot + WAL replay must be row-for-row
+//! identical to the in-memory database for arbitrary mutation sequences,
+//! and injected disk damage (torn tails, bit flips, failed fsyncs) must
+//! lose at most the uncommitted tail — never panic, never refuse to start.
+
+use aladin_relstore::persist::{diff_databases, DurableDatabase, Mutation};
+use aladin_relstore::wal;
+use aladin_relstore::{ColumnDef, Constraint, Database, TableSchema, Value};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("aladin-recovery-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copy a durable store's directory (flat: the store keeps no
+/// subdirectories) so destructive fault injection can run on a scratch copy.
+fn copy_store(src: &Path, tag: &str) -> PathBuf {
+    let dst = temp_dir(tag);
+    for entry in std::fs::read_dir(src).unwrap().flatten() {
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+fn schema() -> TableSchema {
+    TableSchema::of(vec![ColumnDef::int("a"), ColumnDef::text("b")])
+}
+
+/// A store with one table and `batches` committed insert batches, returning
+/// the directory plus the expected database after every prefix length
+/// (index `i` = state after `i` insert batches).
+fn store_with_batches(tag: &str, batches: usize) -> (PathBuf, Vec<Database>) {
+    let dir = temp_dir(tag);
+    let mut store = DurableDatabase::open_named(&dir, "crash").unwrap();
+    store
+        .commit(vec![Mutation::CreateTable {
+            name: "t".into(),
+            schema: schema(),
+        }])
+        .unwrap();
+    let mut states = vec![store.db().clone()];
+    for i in 0..batches {
+        store
+            .commit_insert(
+                "t",
+                vec![vec![Value::Int(i as i64), Value::text(format!("row-{i}"))]],
+            )
+            .unwrap();
+        states.push(store.db().clone());
+    }
+    (dir, states)
+}
+
+#[test]
+fn torn_tail_at_every_byte_offset_loses_only_the_final_batch() {
+    let (dir, states) = store_with_batches("torn", 3);
+    let spans = wal::frame_spans(&dir.join("wal.log")).unwrap();
+    let (last_offset, last_len) = *spans.last().unwrap();
+    let full = last_offset + last_len;
+    let prefix = &states[states.len() - 2];
+    let complete = &states[states.len() - 1];
+    for cut in last_offset..full {
+        let scratch = copy_store(&dir, "torn-cut");
+        let wal_path = scratch.join("wal.log");
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+        let reopened = Database::open(&scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(
+            diff_databases(prefix, reopened.db()),
+            None,
+            "cut at byte {cut} lost a committed-before-the-tail batch"
+        );
+        // A cut exactly at the record boundary leaves a well-formed
+        // (shorter) log; any cut inside the record must be reported.
+        if cut > last_offset {
+            assert!(
+                reopened.recovery().truncated.is_some(),
+                "cut at byte {cut} was not reported as truncation"
+            );
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+    // The untruncated log recovers everything.
+    let reopened = Database::open(&dir).unwrap();
+    assert_eq!(diff_databases(complete, reopened.db()), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flip_in_every_byte_of_the_final_record_never_panics() {
+    let (dir, states) = store_with_batches("flip", 3);
+    let spans = wal::frame_spans(&dir.join("wal.log")).unwrap();
+    let (last_offset, last_len) = *spans.last().unwrap();
+    let prefix = &states[states.len() - 2];
+    let complete = &states[states.len() - 1];
+    for at in last_offset..last_offset + last_len {
+        let scratch = copy_store(&dir, "flip-at");
+        let wal_path = scratch.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes[at as usize] ^= 0xFF;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let reopened = Database::open(&scratch)
+            .unwrap_or_else(|e| panic!("recovery failed with flip at {at}: {e}"));
+        // The damaged record is dropped (checksum/framing catches the flip)
+        // or — only if the flip somehow still framed and checksummed — the
+        // full state survives. Committed-before-the-tail batches never go.
+        let ok = diff_databases(prefix, reopened.db()).is_none()
+            || diff_databases(complete, reopened.db()).is_none();
+        assert!(
+            ok,
+            "flip at byte {at} lost a committed-before-the-tail batch"
+        );
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_fsync_is_not_acknowledged_and_not_recovered() {
+    let dir = temp_dir("fsync");
+    let mut store = DurableDatabase::open_named(&dir, "crash").unwrap();
+    store
+        .commit(vec![Mutation::CreateTable {
+            name: "t".into(),
+            schema: schema(),
+        }])
+        .unwrap();
+    store
+        .commit_insert("t", vec![vec![Value::Int(1), Value::text("kept")]])
+        .unwrap();
+    let before = store.db().clone();
+
+    store.inject_fsync_failures(1);
+    let err = store.commit_insert("t", vec![vec![Value::Int(2), Value::text("lost")]]);
+    assert!(err.is_err(), "a failed fsync must fail the commit");
+    // Not applied in memory...
+    assert_eq!(diff_databases(&before, store.db()), None);
+    drop(store);
+    // ...and not on disk either: reopening sees exactly the acknowledged
+    // state.
+    let reopened = Database::open(&dir).unwrap();
+    assert_eq!(diff_databases(&before, reopened.db()), None);
+    assert!(!reopened.recovery().found_damage());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: reopen ≡ in-memory for arbitrary mutation sequences
+// ---------------------------------------------------------------------------
+
+/// One abstract operation of the generated workload; invalid combinations
+/// (inserting into a missing table, re-creating an existing one) are skipped
+/// during interpretation, so every committed batch is valid by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Drop(u8),
+    Insert(u8, Vec<i64>),
+    Constrain(u8),
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::Create),
+        (0u8..4).prop_map(Op::Drop),
+        (0u8..4, prop::collection::vec(any::<i64>(), 1..6)).prop_map(|(t, r)| Op::Insert(t, r)),
+        (0u8..4).prop_map(Op::Constrain),
+        Just(Op::Checkpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reopen_is_row_for_row_identical_to_the_in_memory_database(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        checkpoint_every in 0usize..5,
+    ) {
+        let dir = temp_dir("prop");
+        let mut store = DurableDatabase::open_named(&dir, "prop").unwrap();
+        store.set_checkpoint_every(checkpoint_every);
+        for op in ops {
+            match op {
+                Op::Create(t) => {
+                    let name = format!("t{t}");
+                    if store.db().table(&name).is_err() {
+                        store.commit(vec![Mutation::CreateTable { name, schema: schema() }])
+                            .unwrap();
+                    }
+                }
+                Op::Drop(t) => {
+                    let name = format!("t{t}");
+                    if store.db().table(&name).is_ok() {
+                        store.commit(vec![Mutation::DropTable { name }]).unwrap();
+                    }
+                }
+                Op::Insert(t, values) => {
+                    let name = format!("t{t}");
+                    if store.db().table(&name).is_ok() {
+                        let rows = values
+                            .into_iter()
+                            .map(|v| vec![Value::Int(v), Value::text(format!("v{v}"))])
+                            .collect();
+                        store.commit_insert(&name, rows).unwrap();
+                    }
+                }
+                Op::Constrain(t) => {
+                    let name = format!("t{t}");
+                    if store.db().table(&name).is_ok() {
+                        store.commit(vec![Mutation::AddConstraint(Constraint::NotNull {
+                            table: name,
+                            column: "a".into(),
+                        })]).unwrap();
+                    }
+                }
+                Op::Checkpoint => {
+                    store.checkpoint().unwrap();
+                }
+            }
+        }
+        let expected = store.db().clone();
+        drop(store);
+        let reopened = Database::open(&dir).unwrap();
+        prop_assert_eq!(diff_databases(&expected, reopened.db()), None);
+        prop_assert!(!reopened.recovery().found_damage());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

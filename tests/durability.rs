@@ -1,0 +1,190 @@
+//! Durability suite: end-to-end crash-recovery behaviour of the integration
+//! pipeline and serving layer. A durable `Aladin` (configured with a data
+//! directory) persists every committed source; `Aladin::open` must rebuild
+//! an equivalent warehouse from disk, `Server::resume` must pick up the last
+//! published generation, and injected damage to the pipeline event log must
+//! cost at most the tail — never a panic, never a refusal to start.
+
+use aladin::core::{Aladin, AladinConfig, Link, ServeConfig, Server, SourceStructure};
+use aladin::datagen::{
+    duplicate_last_wal_record, swap_last_two_wal_records, truncate_wal_mid_record, Corpus,
+    CorpusConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "aladin-durability-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig::small(42))
+}
+
+/// Integrate every corpus source into a durable pipeline rooted at `dir`.
+fn integrate_durable(corpus: &Corpus, dir: &PathBuf) -> Aladin {
+    let mut aladin = Aladin::new(AladinConfig::default().with_data_dir(dir));
+    for dump in &corpus.sources {
+        aladin
+            .add_source_files(&dump.name, dump.format, &dump.files)
+            .unwrap_or_else(|e| panic!("failed to integrate {}: {e}", dump.name));
+    }
+    aladin
+}
+
+/// Everything observable about the integrated state, minus wall-clock
+/// timings (see `pipeline_faults.rs`).
+type Fingerprint = (Vec<String>, Vec<Link>, Vec<Link>, Vec<SourceStructure>);
+
+fn fingerprint(aladin: &Aladin) -> Fingerprint {
+    let sources: Vec<String> = aladin
+        .source_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let structures: Vec<SourceStructure> = sources
+        .iter()
+        .filter_map(|s| aladin.metadata().structure(s).cloned())
+        .collect();
+    (
+        sources,
+        aladin.metadata().links().to_vec(),
+        aladin.metadata().duplicates().to_vec(),
+        structures,
+    )
+}
+
+#[test]
+fn reopened_pipeline_answers_identically_to_the_original() {
+    let corpus = corpus();
+    let dir = temp_dir("reopen");
+    let live = integrate_durable(&corpus, &dir);
+    let expected = fingerprint(&live);
+    drop(live);
+
+    let (reopened, recovery) = Aladin::open(AladinConfig::default().with_data_dir(&dir)).unwrap();
+    assert_eq!(recovery.lost, Vec::<String>::new());
+    assert!(recovery.truncated_events.is_none());
+    assert_eq!(
+        recovery.recovered.len(),
+        corpus.sources.len(),
+        "every committed source must be recovered"
+    );
+    assert_eq!(fingerprint(&reopened), expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_server_continues_at_the_published_generation() {
+    let corpus = corpus();
+    let dir = temp_dir("resume");
+    let live = integrate_durable(&corpus, &dir);
+    let server = Server::start(live, ServeConfig::default()).unwrap();
+    let generation = server.snapshot().generation();
+    drop(server);
+
+    let (resumed, recovery) = Server::resume(
+        AladinConfig::default().with_data_dir(&dir),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(recovery.lost, Vec::<String>::new());
+    assert_eq!(resumed.resumed_generation(), Some(generation));
+    assert!(
+        resumed.snapshot().generation() >= generation,
+        "a resumed server must never publish a generation below the marker"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicated_commit_event_is_skipped_on_recovery() {
+    let corpus = corpus();
+    let dir = temp_dir("dup-event");
+    drop(integrate_durable(&corpus, &dir));
+
+    duplicate_last_wal_record(&dir.join("pipeline.wal")).unwrap();
+    let (reopened, recovery) = Aladin::open(AladinConfig::default().with_data_dir(&dir)).unwrap();
+    assert_eq!(recovery.lost, Vec::<String>::new());
+    assert_eq!(recovery.recovered.len(), corpus.sources.len());
+    assert_eq!(reopened.source_names().len(), corpus.sources.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_pipeline_event_log_loses_at_most_the_tail_commit() {
+    let corpus = corpus();
+    let dir = temp_dir("torn-event");
+    drop(integrate_durable(&corpus, &dir));
+
+    truncate_wal_mid_record(&dir.join("pipeline.wal")).unwrap();
+    let (reopened, recovery) = Aladin::open(AladinConfig::default().with_data_dir(&dir)).unwrap();
+    assert!(
+        recovery.truncated_events.is_some(),
+        "a torn event log must be reported"
+    );
+    // Exactly the final commit event is torn; everything before it survives.
+    assert_eq!(recovery.recovered.len(), corpus.sources.len() - 1);
+    assert_eq!(reopened.source_names().len(), corpus.sources.len() - 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reordered_pipeline_event_log_never_panics_and_keeps_the_intact_prefix() {
+    let corpus = corpus();
+    let dir = temp_dir("swap-event");
+    drop(integrate_durable(&corpus, &dir));
+
+    swap_last_two_wal_records(&dir.join("pipeline.wal")).unwrap();
+    let (reopened, recovery) = Aladin::open(AladinConfig::default().with_data_dir(&dir)).unwrap();
+    assert!(
+        recovery.truncated_events.is_some(),
+        "an out-of-order event log must be reported"
+    );
+    // Replay stops at the first out-of-order record: the two swapped tail
+    // commits are dropped, the prefix survives.
+    assert_eq!(recovery.recovered.len(), corpus.sources.len() - 2);
+    assert_eq!(reopened.source_names().len(), corpus.sources.len() - 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Order-insensitive form of a fingerprint: a refresh (and the
+/// last-commit-order replay of recovery) may re-discover the same links and
+/// structures in a different order, so compare them as sorted debug strings.
+fn canonical(fp: &Fingerprint) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    fn sorted<T: std::fmt::Debug>(items: &[T]) -> Vec<String> {
+        let mut out: Vec<String> = items.iter().map(|i| format!("{i:?}")).collect();
+        out.sort();
+        out
+    }
+    (sorted(&fp.0), sorted(&fp.1), sorted(&fp.2), sorted(&fp.3))
+}
+
+#[test]
+fn refresh_persists_the_new_version_of_a_source() {
+    let corpus = corpus();
+    let dir = temp_dir("refresh");
+    let mut live = integrate_durable(&corpus, &dir);
+
+    // Re-import the first source's dump and refresh it in place, then
+    // recover from disk: the reopened warehouse must describe exactly the
+    // refreshed state (order-insensitively — recovery replays sources in
+    // last-commit order, which moves the refreshed source to the end).
+    let dump = &corpus.sources[0];
+    let db = aladin::import::import_files(&dump.name, dump.format, &dump.files).unwrap();
+    live.refresh_source(db, 1.0).unwrap();
+    let after = canonical(&fingerprint(&live));
+    drop(live);
+
+    let (reopened, recovery) = Aladin::open(AladinConfig::default().with_data_dir(&dir)).unwrap();
+    assert_eq!(recovery.lost, Vec::<String>::new());
+    assert_eq!(canonical(&fingerprint(&reopened)), after);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -255,10 +255,7 @@ fn transient_fetch_failures_are_retried_and_permanent_ones_are_not() {
     // Two transient failures per file, three attempts allowed: every file
     // lands on its third try.
     let mut flaky = FlakyFetcher::over(tabular).with_transient_failures(2);
-    let options = ImportOptions::strict().with_retry(RetryPolicy {
-        max_attempts: 3,
-        base_backoff: Duration::ZERO,
-    });
+    let options = ImportOptions::strict().with_retry(RetryPolicy::linear(3, Duration::ZERO));
     let (db, _) = import_fetched(&tabular.name, tabular.format, &mut flaky, &options).unwrap();
     assert!(db.total_rows() > 0);
     assert_eq!(flaky.attempts(), 3 * tabular.files.len());
